@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/experiments all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/percolation
+	$(GO) run ./examples/isingclusters
+	$(GO) run ./examples/objects
+	$(GO) run ./examples/segmentation
+
+clean:
+	$(GO) clean ./...

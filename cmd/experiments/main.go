@@ -1,0 +1,135 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation on the simulated machines. Each experiment is a subcommand:
+//
+//	experiments table1      histogramming survey (Table 1)
+//	experiments table2      connected components survey (Table 2)
+//	experiments fig3        CM-5 scalability summary
+//	experiments fig6..fig9  transpose/broadcast time and bandwidth
+//	experiments fig10       DARPA benchmark scene across machines
+//	experiments fig11       histogram computation vs communication split
+//	experiments fig12..14   CM-5 histogramming detail (p=16/32/64)
+//	experiments fig15..17   CM-5 connected components detail (p=16/32/64)
+//	experiments fig18..19   SP-1 histogramming / connected components
+//	experiments fig20..21   SP-2 histogramming / connected components
+//	experiments all         everything above, in order
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"parimg/internal/bench"
+	"parimg/internal/machine"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(io.Writer) error
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table1", "Table 1: parallel histogramming survey + reproduction", bench.Table1},
+		{"table2", "Table 2: parallel connected components survey + reproduction", bench.Table2},
+		{"fig3", "Figure 3: histogramming and connected components scalability (CM-5)", bench.Fig3},
+		{"fig6", "Figure 6: transpose/broadcast on the CM-5 (p=32)", func(w io.Writer) error {
+			return bench.FigTranspose(w, machine.CM5, 32)
+		}},
+		{"fig7", "Figure 7: transpose/broadcast on the SP-2 (p=32)", func(w io.Writer) error {
+			return bench.FigTranspose(w, machine.SP2, 32)
+		}},
+		{"fig8", "Figure 8: transpose/broadcast on the CS-2 (p=32)", func(w io.Writer) error {
+			return bench.FigTranspose(w, machine.CS2, 32)
+		}},
+		{"fig9", "Figure 9: transpose/broadcast on the Paragon (p=8)", func(w io.Writer) error {
+			return bench.FigTranspose(w, machine.Paragon, 8)
+		}},
+		{"fig10", "Figure 10: DARPA benchmark scene across machines", bench.Fig10},
+		{"fig11", "Figure 11: histogramming computation vs communication", bench.Fig11},
+		{"fig12", "Figure 12: CM-5 histogramming detail (p=16)", func(w io.Writer) error {
+			return bench.FigHistDetail(w, machine.CM5, 16)
+		}},
+		{"fig13", "Figure 13: CM-5 histogramming detail (p=32)", func(w io.Writer) error {
+			return bench.FigHistDetail(w, machine.CM5, 32)
+		}},
+		{"fig14", "Figure 14: CM-5 histogramming detail (p=64)", func(w io.Writer) error {
+			return bench.FigHistDetail(w, machine.CM5, 64)
+		}},
+		{"fig15", "Figure 15: CM-5 connected components detail (p=16)", func(w io.Writer) error {
+			return bench.FigCCDetail(w, machine.CM5, 16, []int{512, 1024})
+		}},
+		{"fig16", "Figure 16: CM-5 connected components detail (p=32)", func(w io.Writer) error {
+			return bench.FigCCDetail(w, machine.CM5, 32, []int{512, 1024})
+		}},
+		{"fig17", "Figure 17: CM-5 connected components detail (p=64)", func(w io.Writer) error {
+			return bench.FigCCDetail(w, machine.CM5, 64, []int{512, 1024})
+		}},
+		{"fig18", "Figure 18: SP-1 histogramming detail (p=16)", func(w io.Writer) error {
+			return bench.FigHistDetail(w, machine.SP1, 16)
+		}},
+		{"fig19", "Figure 19: SP-1 connected components detail (p=16)", func(w io.Writer) error {
+			return bench.FigCCDetail(w, machine.SP1, 16, []int{512, 1024})
+		}},
+		{"fig20", "Figure 20: SP-2 histogramming detail (p=16)", func(w io.Writer) error {
+			return bench.FigHistDetail(w, machine.SP2, 16)
+		}},
+		{"fig21", "Figure 21: SP-2 connected components detail (p=32)", func(w io.Writer) error {
+			return bench.FigCCDetail(w, machine.SP2, 32, []int{128, 256, 512, 1024})
+		}},
+		{"baseline", "Extra: log p merging vs iterative label diffusion", bench.Baseline},
+		{"efficiency", "Extra: speedup and efficiency vs p=1", bench.Efficiency},
+		{"phases", "Extra: per-stage breakdown of the merge algorithm", bench.Phases},
+		{"utilization", "Extra: per-processor computation/communication/wait split", bench.Utilization},
+		{"ablations", "Extra: design-choice ablations (updating, shadows, distribution, collectives)", bench.Ablations},
+		{"gantt", "Extra: per-processor activity timeline of one labeling run", bench.Gantt},
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: experiments [-csv] <name>|all")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "  -csv     emit tables as CSV instead of aligned text")
+	fmt.Fprintln(w)
+	for _, e := range experiments() {
+		fmt.Fprintf(w, "  %-8s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintf(w, "  %-8s run every experiment in order\n", "all")
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "-csv" {
+		bench.Style = bench.StyleCSV
+		args = args[1:]
+	}
+	if len(args) != 1 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	name := args[0]
+	if name == "all" {
+		for _, e := range experiments() {
+			fmt.Printf("==== %s: %s ====\n\n", e.name, e.desc)
+			if err := e.run(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	for _, e := range experiments() {
+		if e.name == name {
+			if err := e.run(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n\n", name)
+	usage(os.Stderr)
+	os.Exit(2)
+}

@@ -1,0 +1,99 @@
+// Command genimages renders the paper's test-image catalog to PGM files:
+// the nine scalable binary patterns of Figure 1 and the synthetic DARPA
+// benchmark scene of Figure 2. With -labels it also writes a visualization
+// of each image's connected component labeling (component labels folded
+// into grey levels), which makes the catalog's component structure easy to
+// eyeball.
+//
+//	genimages -n 512 -out ./images
+//	genimages -n 256 -labels -out ./images
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"parimg"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 512, "image side for the catalog patterns")
+		out    = flag.String("out", ".", "output directory (created if missing)")
+		labels = flag.Bool("labels", false, "also write component-label visualizations")
+		darpa  = flag.Bool("darpa", true, "include the synthetic DARPA scene")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	for _, id := range parimg.AllPatterns() {
+		im := parimg.GeneratePattern(id, *n)
+		name := fmt.Sprintf("%s_%d.pgm", id, *n)
+		if err := writePGM(filepath.Join(*out, name), im, 1); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", filepath.Join(*out, name))
+		if *labels {
+			if err := writeLabelViz(*out, fmt.Sprintf("%s_%d_labels.pgm", id, *n), im); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if *darpa {
+		im := parimg.DARPAImage()
+		path := filepath.Join(*out, "darpa_512.pgm")
+		if err := writePGM(path, im, 255); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", path)
+		if *labels {
+			if err := writeLabelViz(*out, "darpa_512_labels.pgm", im); err != nil {
+				fail(err)
+			}
+		}
+	}
+}
+
+// writeLabelViz labels the image sequentially and folds the labels into
+// visually distinct grey levels (background black).
+func writeLabelViz(dir, name string, im *parimg.Image) error {
+	mode := parimg.Binary
+	if im.MaxGrey() > 1 {
+		mode = parimg.Grey
+	}
+	lab := parimg.LabelSequential(im, parimg.Conn8, mode)
+	viz := parimg.NewImage(im.N)
+	for i, l := range lab.Lab {
+		if l != 0 {
+			// Spread labels over 64..255 so neighbors differ.
+			viz.Pix[i] = 64 + (l*2654435761)%192
+		}
+	}
+	path := filepath.Join(dir, name)
+	if err := writePGM(path, viz, 255); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func writePGM(path string, im *parimg.Image, maxVal int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := parimg.WritePGM(f, im, maxVal); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "genimages: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,170 @@
+// Command imgcc labels the connected components of an image on a simulated
+// parallel machine and prints the component census and the modeled
+// execution costs.
+//
+// Examples:
+//
+//	imgcc -pattern concentric-circles -n 512 -machine cm5 -p 32
+//	imgcc -darpa -grey -machine sp2 -p 64
+//	imgcc -random 0.593 -n 1024 -conn 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"parimg"
+)
+
+func main() {
+	var (
+		patternName = flag.String("pattern", "", "catalog test image name (e.g. dual-spiral, cross)")
+		random      = flag.Float64("random", -1, "random binary image with this foreground density")
+		darpa       = flag.Bool("darpa", false, "use the synthetic DARPA benchmark scene")
+		inFile      = flag.String("in", "", "read a PGM image from this file")
+		n           = flag.Int("n", 512, "image side for generated images")
+		p           = flag.Int("p", 32, "number of simulated processors (power of two)")
+		machineName = flag.String("machine", "cm5", "machine profile: cm5, sp1, sp2, cs2, paragon, ideal")
+		conn        = flag.Int("conn", 8, "connectivity: 4 or 8")
+		grey        = flag.Bool("grey", false, "grey-scale components (like-colored pixels connect)")
+		seed        = flag.Uint64("seed", 1, "seed for random images")
+		top         = flag.Int("top", 10, "print the sizes of the largest components")
+		direct      = flag.Bool("direct-dist", false, "use the unimproved direct change distribution")
+		noShadow    = flag.Bool("no-shadow", false, "disable shadow managers")
+		fullRelabel = flag.Bool("full-relabel", false, "relabel whole tiles every merge (disable limited updating)")
+		compare     = flag.Bool("compare", false, "run all three parallel algorithms and compare")
+	)
+	flag.Parse()
+
+	im, err := loadImage(*patternName, *random, *darpa, *inFile, *n, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
+		os.Exit(1)
+	}
+	spec, err := parimg.MachineByName(*machineName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
+		os.Exit(1)
+	}
+	sim, err := parimg.NewSimulator(*p, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
+		os.Exit(1)
+	}
+	opt := parimg.LabelOptions{
+		Conn:               parimg.Connectivity(*conn),
+		DirectDistribution: *direct,
+		NoShadowManager:    *noShadow,
+		FullRelabel:        *fullRelabel,
+	}
+	if *grey {
+		opt.Mode = parimg.Grey
+	}
+	if *compare {
+		compareAlgorithms(sim, im, opt, spec.Name, *p)
+		return
+	}
+	res, err := sim.Label(im, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s, p=%d, %dx%d image, %v, %v mode\n",
+		spec.Name, *p, im.N, im.N, opt.Conn, opt.Mode)
+	fmt.Printf("%d connected components in %d merge phases\n", res.Components, res.MergePhases)
+	if *top > 0 {
+		sizes := res.Labels.ComponentSizes()
+		type comp struct {
+			label uint32
+			size  int
+		}
+		all := make([]comp, 0, len(sizes))
+		for l, s := range sizes {
+			all = append(all, comp{l, s})
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].size != all[b].size {
+				return all[a].size > all[b].size
+			}
+			return all[a].label < all[b].label
+		})
+		if len(all) > *top {
+			all = all[:*top]
+		}
+		for i, c := range all {
+			fmt.Printf("  #%-2d label %-8d %d pixels\n", i+1, c.label, c.size)
+		}
+	}
+	r := res.Report
+	fmt.Printf("simulated time %.6g s (computation %.6g s, communication %.6g s)\n",
+		r.SimTime, r.CompTime, r.CommTime)
+	fmt.Printf("work per pixel %.4g us, %d words moved, host wall time %v\n",
+		r.WorkPerPixel(im.N*im.N)*1e6, r.Words, r.Wall)
+}
+
+// compareAlgorithms runs the paper's merge algorithm and the two baselines
+// (label diffusion and pointer jumping) on the same input, verifies they
+// agree, and prints a comparison table.
+func compareAlgorithms(sim *parimg.Simulator, im *parimg.Image, opt parimg.LabelOptions, machineName string, p int) {
+	type row struct {
+		name string
+		run  func() (*parimg.CCResult, error)
+	}
+	rows := []row{
+		{"merge (this paper)", func() (*parimg.CCResult, error) { return sim.Label(im, opt) }},
+		{"label diffusion", func() (*parimg.CCResult, error) { return sim.LabelByPropagation(im, opt) }},
+		{"pointer jumping", func() (*parimg.CCResult, error) { return sim.LabelByPointerJumping(im, opt) }},
+	}
+	fmt.Printf("%s, p=%d, %dx%d image, %v, %v mode\n\n",
+		machineName, p, im.N, im.N, opt.Conn, opt.Mode)
+	fmt.Printf("%-20s  %10s  %8s  %12s  %10s\n", "algorithm", "sim time", "rounds", "words moved", "components")
+	var first *parimg.CCResult
+	for _, r := range rows {
+		res, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imgcc: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		if first == nil {
+			first = res
+		} else {
+			for i := range first.Labels.Lab {
+				if first.Labels.Lab[i] != res.Labels.Lab[i] {
+					fmt.Fprintf(os.Stderr, "imgcc: %s disagrees with the merge algorithm at pixel %d\n", r.name, i)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("%-20s  %9.4gs  %8d  %12d  %10d\n",
+			r.name, res.Report.SimTime, res.MergePhases, res.Report.Words, res.Components)
+	}
+	fmt.Println("\nall three algorithms produced identical labelings")
+}
+
+func loadImage(pattern string, density float64, darpa bool, inFile string, n int, seed uint64) (*parimg.Image, error) {
+	switch {
+	case inFile != "":
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return parimg.ReadPGM(f)
+	case darpa:
+		return parimg.DARPAImage(), nil
+	case pattern != "":
+		for _, id := range parimg.AllPatterns() {
+			if id.String() == pattern {
+				return parimg.GeneratePattern(id, n), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown pattern %q (try dual-spiral, filled-disc, cross, ...)", pattern)
+	case density >= 0:
+		return parimg.RandomBinary(n, density, seed), nil
+	default:
+		return parimg.RandomBinary(n, 0.5, seed), nil
+	}
+}

@@ -1,0 +1,97 @@
+// Command imghist histograms an image on a simulated parallel machine and
+// prints the histogram and the modeled execution costs.
+//
+// The image is either a generated test image (-pattern, -random, -darpa) or
+// a PGM file (-in). Examples:
+//
+//	imghist -pattern dual-spiral -n 512 -k 2 -machine cm5 -p 32
+//	imghist -darpa -k 256 -machine sp2 -p 64
+//	imghist -in scene.pgm -k 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parimg"
+)
+
+func main() {
+	var (
+		patternName = flag.String("pattern", "", "catalog test image name (e.g. dual-spiral, filled-disc)")
+		random      = flag.Float64("random", -1, "random binary image with this foreground density")
+		randomGrey  = flag.Bool("random-grey", false, "random grey image with k levels")
+		darpa       = flag.Bool("darpa", false, "use the synthetic DARPA benchmark scene (512x512, 256 greys)")
+		inFile      = flag.String("in", "", "read a PGM image from this file")
+		n           = flag.Int("n", 512, "image side for generated images")
+		k           = flag.Int("k", 256, "number of grey levels (power of two)")
+		p           = flag.Int("p", 32, "number of simulated processors (power of two)")
+		machineName = flag.String("machine", "cm5", "machine profile: cm5, sp1, sp2, cs2, paragon, ideal")
+		seed        = flag.Uint64("seed", 1, "seed for random images")
+		quiet       = flag.Bool("quiet", false, "print only the timing summary")
+	)
+	flag.Parse()
+
+	im, err := loadImage(*patternName, *random, *randomGrey, *darpa, *inFile, *n, *k, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
+		os.Exit(1)
+	}
+	spec, err := parimg.MachineByName(*machineName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
+		os.Exit(1)
+	}
+	sim, err := parimg.NewSimulator(*p, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := sim.Histogram(im, *k)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
+		os.Exit(1)
+	}
+
+	if !*quiet {
+		for g, c := range res.H {
+			if c != 0 {
+				fmt.Printf("H[%3d] = %d\n", g, c)
+			}
+		}
+	}
+	r := res.Report
+	fmt.Printf("%s, p=%d, %dx%d image, k=%d\n", spec.Name, *p, im.N, im.N, *k)
+	fmt.Printf("simulated time %.6g s (computation %.6g s, communication %.6g s)\n",
+		r.SimTime, r.CompTime, r.CommTime)
+	fmt.Printf("work per pixel %.4g ns, %d words moved, host wall time %v\n",
+		r.WorkPerPixel(im.N*im.N)*1e9, r.Words, r.Wall)
+}
+
+func loadImage(pattern string, density float64, grey, darpa bool, inFile string, n, k int, seed uint64) (*parimg.Image, error) {
+	switch {
+	case inFile != "":
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return parimg.ReadPGM(f)
+	case darpa:
+		return parimg.DARPAImage(), nil
+	case pattern != "":
+		for _, id := range parimg.AllPatterns() {
+			if id.String() == pattern {
+				return parimg.GeneratePattern(id, n), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown pattern %q (try dual-spiral, filled-disc, cross, ...)", pattern)
+	case density >= 0:
+		return parimg.RandomBinary(n, density, seed), nil
+	case grey:
+		return parimg.RandomGrey(n, k, seed), nil
+	default:
+		return parimg.RandomGrey(n, k, seed), nil
+	}
+}

@@ -1,0 +1,3 @@
+module parimg
+
+go 1.22

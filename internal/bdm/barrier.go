@@ -1,0 +1,76 @@
+package bdm
+
+import "sync"
+
+// barrier is a reusable counting barrier for n participants with abort
+// support. The last arriver runs a critical action (clock equalization)
+// while all other participants are parked, which gives that action exclusive
+// access to their state with the necessary happens-before edges.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	count   int
+	gen     uint64
+	aborted bool
+}
+
+// abortPanic is the sentinel thrown through processor bodies when the SPMD
+// program is aborted (e.g. another processor panicked). Run recovers it.
+type abortPanic struct{}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n participants have called await for the current
+// generation. The last arriver runs onLast (with the barrier lock held and
+// every other participant parked) before releasing everyone.
+func (b *barrier) await(onLast func()) {
+	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		panic(abortPanic{})
+	}
+	g := b.gen
+	b.count++
+	if b.count == b.n {
+		if onLast != nil {
+			onLast()
+		}
+		b.count = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for b.gen == g && !b.aborted {
+		b.cond.Wait()
+	}
+	aborted := b.aborted
+	b.mu.Unlock()
+	if aborted {
+		panic(abortPanic{})
+	}
+}
+
+// abort releases all parked participants; they panic with abortPanic, which
+// unwinds their bodies back to Run.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// reset restores the barrier for reuse. It must only be called when no
+// participant is inside await.
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.count = 0
+	b.gen++
+	b.aborted = false
+	b.mu.Unlock()
+}

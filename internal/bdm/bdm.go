@@ -1,0 +1,278 @@
+// Package bdm implements a Split-C-like SPMD runtime over the Block
+// Distributed Memory (BDM) model of JaJa and Ryu, the computation model the
+// paper uses to design and analyze its algorithms.
+//
+// A Machine consists of p logical processors executing the same program
+// (SPMD), each as its own goroutine with private local state. Processors
+// interact only through
+//
+//   - Spread arrays (a single global address space, one block per processor),
+//   - split-phase prefetches (Get/Put, the analogue of Split-C's ":="
+//     assignment) completed by Sync, and
+//   - barriers.
+//
+// The runtime keeps a deterministic simulated clock per processor. Local
+// computation is charged explicitly through (*Proc).Work; communication is
+// charged at Sync time following the BDM rule that l pipelined prefetch
+// operations moving m words in total cost tau + m word-times, where tau is
+// the normalized maximum network latency. A barrier equalizes all clocks to
+// the maximum (processors wait for the slowest). The resulting end-to-end
+// simulated time reproduces the Tcomm/Tcomp analysis of the paper on any
+// machine profile, independent of the host the simulation runs on.
+package bdm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// CostParams describes one target machine in BDM terms. The profiles for the
+// machines used in the paper (CM-5, SP-1, SP-2, CS-2, Paragon) live in
+// package machine.
+type CostParams struct {
+	// Name identifies the machine, e.g. "TMC CM-5".
+	Name string
+
+	// Tau is the normalized maximum latency of any message in the
+	// communication network, in seconds. Each Sync that completes at
+	// least one outstanding prefetch is charged one Tau.
+	Tau float64
+
+	// SecPerWord is the time for one 32-bit word to enter or leave a
+	// processor, in seconds (the reciprocal of the per-processor
+	// bandwidth). No processor can send or receive more than one word
+	// at a time, so a prefetch batch of m words costs Tau + m*SecPerWord.
+	SecPerWord float64
+
+	// SecPerOp is the time of one abstract local RAM operation, in
+	// seconds. (*Proc).Work(n) charges n*SecPerOp of computation.
+	SecPerOp float64
+
+	// BarrierCost is the time charged to every processor at each global
+	// barrier, after clock equalization, in seconds.
+	BarrierCost float64
+}
+
+// Validate reports whether the parameters are usable.
+func (c CostParams) Validate() error {
+	if c.Tau < 0 || c.SecPerWord < 0 || c.SecPerOp < 0 || c.BarrierCost < 0 {
+		return fmt.Errorf("bdm: negative cost parameter in profile %q", c.Name)
+	}
+	return nil
+}
+
+// BandwidthMBps returns the per-processor data bandwidth implied by
+// SecPerWord, in units of 1e6 bytes per second (the paper's "MB/s").
+func (c CostParams) BandwidthMBps() float64 {
+	if c.SecPerWord == 0 {
+		return 0
+	}
+	return 4.0 / c.SecPerWord / 1e6
+}
+
+// Machine is a simulated p-processor distributed-memory machine.
+type Machine struct {
+	p    int
+	cost CostParams
+
+	bar   *barrier
+	procs []*Proc
+
+	// tracing enables span recording on every processor (see trace.go).
+	tracing bool
+
+	mu     sync.Mutex
+	broken error // first panic observed, wrapped
+}
+
+// NewMachine creates a machine with p processors and the given cost model.
+// p must be at least 1.
+func NewMachine(p int, cost CostParams) (*Machine, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("bdm: machine needs at least 1 processor, got %d", p)
+	}
+	if err := cost.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{p: p, cost: cost, bar: newBarrier(p)}
+	m.procs = make([]*Proc, p)
+	for i := range m.procs {
+		m.procs[i] = &Proc{m: m, rank: i}
+	}
+	return m, nil
+}
+
+// P returns the number of processors.
+func (m *Machine) P() int { return m.p }
+
+// Cost returns the machine's cost parameters.
+func (m *Machine) Cost() CostParams { return m.cost }
+
+// ErrAborted is returned (wrapped) by Run when a processor body panics; the
+// remaining processors are released from any barrier they are blocked on.
+var ErrAborted = fmt.Errorf("bdm: SPMD program aborted")
+
+// Run executes body once per processor, concurrently, and returns the
+// aggregated execution report. It may be called several times on the same
+// machine; the simulated clocks continue from where the previous Run left
+// them (use Reset to zero them).
+//
+// If any body panics, Run releases the other processors and returns an error
+// wrapping ErrAborted together with the panic value.
+func (m *Machine) Run(body func(*Proc)) (Report, error) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(m.p)
+	for i := 0; i < m.p; i++ {
+		p := m.procs[i]
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortPanic); ok {
+						return // secondary unwind; original error already recorded
+					}
+					m.abort(fmt.Errorf("%w: processor %d panicked: %v", ErrAborted, p.rank, r))
+				}
+			}()
+			body(p)
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	m.mu.Lock()
+	err := m.broken
+	m.mu.Unlock()
+	if err != nil {
+		return Report{}, err
+	}
+	// Final settlement and equalization so SimTime reflects the slowest
+	// processor even when the program does not end with a barrier.
+	m.settleAndEqualize(false)
+	return m.report(wall), nil
+}
+
+// Reset zeroes all simulated clocks and meters, keeping the machine and its
+// cost model. It must not be called while Run is in flight.
+func (m *Machine) Reset() {
+	for _, p := range m.procs {
+		p.meter = Meter{}
+		p.pendingWords = 0
+		p.pendingGets = 0
+		p.activeEpochWords = 0
+		p.passiveWords.Store(0)
+	}
+	m.mu.Lock()
+	m.broken = nil
+	m.mu.Unlock()
+	m.bar.reset()
+}
+
+func (m *Machine) abort(err error) {
+	m.mu.Lock()
+	if m.broken == nil {
+		m.broken = err
+	}
+	m.mu.Unlock()
+	m.bar.abort()
+}
+
+// settleAndEqualize first settles passive-traffic excess (words moved by
+// other processors in or out of each processor's memory beyond what that
+// processor actively transferred itself, charged at full-duplex overlap)
+// and then advances every clock to the global maximum, charging the
+// difference as wait time. When isBarrier is set, the machine's barrier
+// cost is added and barrier counters advance. Callers must ensure no
+// processor body is running (barrier onLast, or after Run).
+func (m *Machine) settleAndEqualize(isBarrier bool) {
+	for _, q := range m.procs {
+		passive := q.passiveWords.Swap(0)
+		if excess := passive - q.activeEpochWords; excess > 0 {
+			dt := float64(excess) * m.cost.SecPerWord
+			q.recordSpan(q.meter.Now, q.meter.Now+dt, SpanComm)
+			q.meter.Comm += dt
+			q.meter.Now += dt
+		}
+		q.activeEpochWords = 0
+	}
+	var max float64
+	for _, q := range m.procs {
+		if q.meter.Now > max {
+			max = q.meter.Now
+		}
+	}
+	for _, q := range m.procs {
+		q.recordSpan(q.meter.Now, max, SpanWait)
+		q.meter.Wait += max - q.meter.Now
+		q.meter.Now = max
+		if isBarrier {
+			q.meter.Now += m.cost.BarrierCost
+			q.meter.Bars++
+		}
+	}
+}
+
+func (m *Machine) report(wall time.Duration) Report {
+	r := Report{
+		P:     m.p,
+		Cost:  m.cost,
+		Wall:  wall,
+		Procs: make([]Meter, m.p),
+	}
+	for i, p := range m.procs {
+		r.Procs[i] = p.meter
+		if p.meter.Now > r.SimTime {
+			r.SimTime = p.meter.Now
+		}
+		if p.meter.Comp > r.CompTime {
+			r.CompTime = p.meter.Comp
+		}
+		if p.meter.Comm > r.CommTime {
+			r.CommTime = p.meter.Comm
+		}
+		r.Words += p.meter.Words
+		r.Ops += p.meter.Ops
+	}
+	return r
+}
+
+// Meter accumulates the simulated cost of one processor.
+type Meter struct {
+	Comp  float64 // seconds of charged local computation
+	Comm  float64 // seconds of charged communication (latency + transfer)
+	Wait  float64 // seconds spent waiting at barriers (clock equalization)
+	Now   float64 // current local clock: Comp + Comm + Wait + barrier costs
+	Ops   int64   // abstract operations charged
+	Words int64   // words transferred to or from this processor
+	Syncs int64   // number of Syncs that completed at least one prefetch
+	Bars  int64   // number of barriers passed
+}
+
+// Report summarizes one SPMD execution.
+type Report struct {
+	P        int
+	Cost     CostParams
+	SimTime  float64 // simulated end-to-end seconds (max over processors)
+	CompTime float64 // max over processors of charged computation seconds
+	CommTime float64 // max over processors of charged communication seconds
+	Wall     time.Duration
+	Words    int64 // total words moved by all processors
+	Ops      int64 // total abstract operations
+	Procs    []Meter
+}
+
+// WorkPerPixel returns SimTime*P/pixels, the paper's normalized
+// "work per pixel" measure, in seconds.
+func (r Report) WorkPerPixel(pixels int) float64 {
+	if pixels == 0 {
+		return 0
+	}
+	return r.SimTime * float64(r.P) / float64(pixels)
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s p=%d: sim=%.6gs (comp=%.6gs comm=%.6gs) wall=%v words=%d",
+		r.Cost.Name, r.P, r.SimTime, r.CompTime, r.CommTime, r.Wall, r.Words)
+}

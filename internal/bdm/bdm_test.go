@@ -1,0 +1,423 @@
+package bdm
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+var testCost = CostParams{
+	Name:        "test",
+	Tau:         1e-5,
+	SecPerWord:  1e-6,
+	SecPerOp:    1e-7,
+	BarrierCost: 1e-6,
+}
+
+func mustMachine(t testing.TB, p int, c CostParams) *Machine {
+	t.Helper()
+	m, err := NewMachine(p, c)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	return m
+}
+
+func TestNewMachineValidation(t *testing.T) {
+	if _, err := NewMachine(0, testCost); err == nil {
+		t.Error("p=0: want error")
+	}
+	if _, err := NewMachine(-3, testCost); err == nil {
+		t.Error("p=-3: want error")
+	}
+	bad := testCost
+	bad.Tau = -1
+	if _, err := NewMachine(4, bad); err == nil {
+		t.Error("negative tau: want error")
+	}
+}
+
+func TestRunExecutesEveryProcessorOnce(t *testing.T) {
+	m := mustMachine(t, 8, testCost)
+	var counts [8]atomic.Int32
+	if _, err := m.Run(func(p *Proc) {
+		counts[p.Rank()].Add(1)
+		if p.P() != 8 {
+			t.Errorf("P() = %d, want 8", p.P())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Errorf("processor %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestWorkChargesComputation(t *testing.T) {
+	m := mustMachine(t, 2, testCost)
+	rep, err := m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Work(1000)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000 * testCost.SecPerOp
+	if math.Abs(rep.CompTime-want) > 1e-12 {
+		t.Errorf("CompTime = %g, want %g", rep.CompTime, want)
+	}
+	// SimTime equals the slowest processor (equalization at the end).
+	if math.Abs(rep.SimTime-want) > 1e-12 {
+		t.Errorf("SimTime = %g, want %g", rep.SimTime, want)
+	}
+	if rep.Ops != 1000 {
+		t.Errorf("Ops = %d, want 1000", rep.Ops)
+	}
+}
+
+func TestSyncChargesTauPlusWords(t *testing.T) {
+	m := mustMachine(t, 2, testCost)
+	s := NewSpread[uint32](m, 100)
+	for i := range s.Row(1) {
+		s.Row(1)[i] = uint32(i)
+	}
+	rep, err := m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			dst := make([]uint32, 60)
+			Get(p, dst[:30], s, 1, 0)
+			Get(p, dst[30:], s, 1, 30)
+			p.Sync()
+			for i, v := range dst {
+				if v != uint32(i) {
+					t.Errorf("dst[%d] = %d", i, v)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two pipelined prefetches, one Sync: tau + 60 words.
+	want := testCost.Tau + 60*testCost.SecPerWord
+	if math.Abs(rep.CommTime-want) > 1e-12 {
+		t.Errorf("CommTime = %g, want %g", rep.CommTime, want)
+	}
+	if rep.Words != 60 {
+		t.Errorf("Words = %d, want 60", rep.Words)
+	}
+}
+
+func TestLocalAccessIsFree(t *testing.T) {
+	m := mustMachine(t, 2, testCost)
+	s := NewSpread[uint32](m, 10)
+	rep, err := m.Run(func(p *Proc) {
+		dst := make([]uint32, 10)
+		Get(p, dst, s, p.Rank(), 0)
+		p.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CommTime != 0 {
+		t.Errorf("CommTime = %g, want 0 for local access", rep.CommTime)
+	}
+}
+
+func TestEmptySyncIsFree(t *testing.T) {
+	m := mustMachine(t, 2, testCost)
+	rep, err := m.Run(func(p *Proc) {
+		p.Sync()
+		p.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CommTime != 0 {
+		t.Errorf("CommTime = %g, want 0", rep.CommTime)
+	}
+}
+
+func TestBarrierEqualizesClocks(t *testing.T) {
+	m := mustMachine(t, 4, testCost)
+	rep, err := m.Run(func(p *Proc) {
+		p.Work(100 * (p.Rank() + 1))
+		p.Barrier()
+		// After the barrier all clocks agree; everyone then adds the
+		// same work, so the final times stay equal.
+		p.Work(50)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 400*testCost.SecPerOp + testCost.BarrierCost + 50*testCost.SecPerOp
+	if math.Abs(rep.SimTime-want) > 1e-12 {
+		t.Errorf("SimTime = %g, want %g", rep.SimTime, want)
+	}
+	for i, pm := range rep.Procs {
+		if math.Abs(pm.Now-want) > 1e-12 {
+			t.Errorf("proc %d clock = %g, want %g", i, pm.Now, want)
+		}
+		if pm.Bars != 1 {
+			t.Errorf("proc %d barriers = %d, want 1", i, pm.Bars)
+		}
+	}
+	// Fastest processor waited for the slowest.
+	if w := rep.Procs[0].Wait; math.Abs(w-300*testCost.SecPerOp) > 1e-12 {
+		t.Errorf("proc 0 wait = %g, want %g", w, 300*testCost.SecPerOp)
+	}
+}
+
+func TestBarrierImpliesSync(t *testing.T) {
+	m := mustMachine(t, 2, testCost)
+	s := NewSpread[uint32](m, 8)
+	rep, err := m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			dst := make([]uint32, 8)
+			Get(p, dst, s, 1, 0)
+			p.Barrier() // no explicit Sync
+		} else {
+			p.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testCost.Tau + 8*testCost.SecPerWord
+	if math.Abs(rep.CommTime-want) > 1e-12 {
+		t.Errorf("CommTime = %g, want %g", rep.CommTime, want)
+	}
+}
+
+func TestPassiveExcessCharged(t *testing.T) {
+	// Processor 0 pulls 100 words from each of processors 1..3. Each
+	// source is passive for 100 words with no active traffic of its
+	// own, so each is charged 100 word-times at the barrier; processor
+	// 0 pays tau + 300.
+	m := mustMachine(t, 4, testCost)
+	s := NewSpread[uint32](m, 100)
+	rep, err := m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			dst := make([]uint32, 100)
+			for r := 1; r < 4; r++ {
+				Get(p, dst, s, r, 0)
+			}
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := testCost.Tau + 300*testCost.SecPerWord
+	if math.Abs(rep.Procs[0].Comm-p0) > 1e-12 {
+		t.Errorf("proc 0 comm = %g, want %g", rep.Procs[0].Comm, p0)
+	}
+	for r := 1; r < 4; r++ {
+		want := 100 * testCost.SecPerWord
+		if math.Abs(rep.Procs[r].Comm-want) > 1e-12 {
+			t.Errorf("proc %d comm = %g, want %g (passive excess)", r, rep.Procs[r].Comm, want)
+		}
+	}
+}
+
+func TestPassiveOverlapsActive(t *testing.T) {
+	// A balanced pairwise exchange: each processor pulls 50 words from
+	// the other. Passive (50) <= active (50), so no excess is charged
+	// and each pays exactly tau + 50 — the full-duplex assumption of
+	// Eq. (1).
+	m := mustMachine(t, 2, testCost)
+	s := NewSpread[uint32](m, 50)
+	rep, err := m.Run(func(p *Proc) {
+		dst := make([]uint32, 50)
+		Get(p, dst, s, 1-p.Rank(), 0)
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testCost.Tau + 50*testCost.SecPerWord
+	for r := 0; r < 2; r++ {
+		if math.Abs(rep.Procs[r].Comm-want) > 1e-12 {
+			t.Errorf("proc %d comm = %g, want %g", r, rep.Procs[r].Comm, want)
+		}
+	}
+}
+
+func TestPutChargesSenderAndReceiver(t *testing.T) {
+	m := mustMachine(t, 2, testCost)
+	s := NewSpread[uint32](m, 10)
+	rep, err := m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			src := []uint32{1, 2, 3}
+			Put(p, s, 1, 0, src)
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Row(1)[0:3]; got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("Put did not store: %v", got)
+	}
+	want0 := testCost.Tau + 3*testCost.SecPerWord
+	if math.Abs(rep.Procs[0].Comm-want0) > 1e-12 {
+		t.Errorf("sender comm = %g, want %g", rep.Procs[0].Comm, want0)
+	}
+	want1 := 3 * testCost.SecPerWord
+	if math.Abs(rep.Procs[1].Comm-want1) > 1e-12 {
+		t.Errorf("receiver comm = %g, want %g", rep.Procs[1].Comm, want1)
+	}
+}
+
+func TestScalarAccessors(t *testing.T) {
+	m := mustMachine(t, 2, testCost)
+	s := NewSpread[uint32](m, 4)
+	if _, err := m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			PutScalar(p, s, 1, 2, 77)
+		}
+		p.Barrier()
+		if p.Rank() == 1 {
+			if v := GetScalar(p, s, 1, 2); v != 77 {
+				t.Errorf("GetScalar = %d, want 77", v)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicAborts(t *testing.T) {
+	m := mustMachine(t, 4, testCost)
+	_, err := m.Run(func(p *Proc) {
+		if p.Rank() == 2 {
+			panic("boom")
+		}
+		p.Barrier() // would deadlock without abort propagation
+	})
+	if err == nil {
+		t.Fatal("want error from panicking processor")
+	}
+	if !errors.Is(err, ErrAborted) {
+		t.Errorf("error %v does not wrap ErrAborted", err)
+	}
+	// The machine is reusable after Reset.
+	m.Reset()
+	if _, err := m.Run(func(p *Proc) { p.Barrier() }); err != nil {
+		t.Fatalf("Run after Reset: %v", err)
+	}
+}
+
+func TestResetZeroesMeters(t *testing.T) {
+	m := mustMachine(t, 2, testCost)
+	if _, err := m.Run(func(p *Proc) { p.Work(100); p.Barrier() }); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	rep, err := m.Run(func(p *Proc) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SimTime != 0 || rep.Ops != 0 || rep.Words != 0 {
+		t.Errorf("after Reset: %+v", rep)
+	}
+}
+
+func TestMultipleBarriers(t *testing.T) {
+	m := mustMachine(t, 8, testCost)
+	rep, err := m.Run(func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			p.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pm := range rep.Procs {
+		if pm.Bars != 50 {
+			t.Errorf("proc %d barriers = %d, want 50", i, pm.Bars)
+		}
+	}
+	want := 50 * testCost.BarrierCost
+	if math.Abs(rep.SimTime-want) > 1e-12 {
+		t.Errorf("SimTime = %g, want %g", rep.SimTime, want)
+	}
+}
+
+func TestSpreadRowsDisjoint(t *testing.T) {
+	m := mustMachine(t, 4, testCost)
+	s := NewSpread[uint32](m, 3)
+	if s.PerProc() != 3 {
+		t.Fatalf("PerProc = %d", s.PerProc())
+	}
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 3; i++ {
+			s.Row(r)[i] = uint32(10*r + i)
+		}
+	}
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 3; i++ {
+			if s.Row(r)[i] != uint32(10*r+i) {
+				t.Fatalf("rows alias: Row(%d)[%d] = %d", r, i, s.Row(r)[i])
+			}
+		}
+	}
+	// Appending to one row must not bleed into the next (capacity is
+	// clamped).
+	row := s.Row(0)
+	row = append(row, 999)
+	_ = row
+	if s.Row(1)[0] != 10 {
+		t.Error("append to Row(0) overwrote Row(1)")
+	}
+}
+
+func TestWorkPerPixel(t *testing.T) {
+	r := Report{SimTime: 2.0, P: 16}
+	if got := r.WorkPerPixel(32); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("WorkPerPixel = %g, want 1", got)
+	}
+	if got := r.WorkPerPixel(0); got != 0 {
+		t.Errorf("WorkPerPixel(0) = %g, want 0", got)
+	}
+}
+
+func TestBandwidthMBps(t *testing.T) {
+	c := CostParams{SecPerWord: 4.0 / 12e6}
+	if got := c.BandwidthMBps(); math.Abs(got-12) > 1e-9 {
+		t.Errorf("BandwidthMBps = %g, want 12", got)
+	}
+	if (CostParams{}).BandwidthMBps() != 0 {
+		t.Error("zero SecPerWord should report 0 bandwidth")
+	}
+}
+
+func TestDeterministicClock(t *testing.T) {
+	// The simulated time must be identical across runs regardless of
+	// goroutine scheduling.
+	var times []float64
+	for trial := 0; trial < 5; trial++ {
+		m := mustMachine(t, 8, testCost)
+		s := NewSpread[uint32](m, 64)
+		rep, err := m.Run(func(p *Proc) {
+			p.Work(10 * (p.Rank() + 3))
+			dst := make([]uint32, 64)
+			Get(p, dst, s, (p.Rank()+1)%8, 0)
+			p.Barrier()
+			p.Work(7)
+			p.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, rep.SimTime)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] != times[0] {
+			t.Fatalf("nondeterministic SimTime: %v", times)
+		}
+	}
+}

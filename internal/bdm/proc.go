@@ -1,0 +1,129 @@
+package bdm
+
+import "sync/atomic"
+
+// Proc is the per-processor handle passed to the SPMD body. All methods must
+// be called only from the goroutine that owns the Proc, except the passive
+// traffic counter, which other processors update atomically when they pull
+// data from (or push data into) this processor's memory.
+type Proc struct {
+	m    *Machine
+	rank int
+
+	meter Meter
+
+	// Outstanding split-phase traffic since the last Sync.
+	pendingWords int64
+	pendingGets  int
+
+	// activeEpochWords counts words this processor actively moved (paid
+	// for at Sync) since the last barrier. passiveWords counts words
+	// other processors moved in or out of this processor's memory in
+	// the same epoch. The model assumes full-duplex links: passive
+	// traffic is free while it overlaps the processor's own transfers,
+	// and only the excess max(0, passive-active) is charged at the next
+	// barrier. This reproduces Eq. (1) (a balanced transpose costs one
+	// side only) while still exposing fan-out congestion such as a
+	// group manager serving its whole client set (Eq. (8) vs Eq. (10)).
+	activeEpochWords int64
+	passiveWords     atomic.Int64
+
+	// spans holds the activity trace when the machine has tracing on.
+	spans []Span
+}
+
+// Rank returns this processor's number in 0..P-1.
+func (p *Proc) Rank() int { return p.rank }
+
+// P returns the number of processors on the machine.
+func (p *Proc) P() int { return p.m.p }
+
+// Machine returns the machine this processor belongs to.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Work charges n abstract local RAM operations to this processor's
+// computation meter. Algorithms call Work with the dominant term of their
+// local loops, mirroring the Tcomp accounting of the paper. Negative or zero
+// n is a no-op.
+func (p *Proc) Work(n int) {
+	if n <= 0 {
+		return
+	}
+	dt := float64(n) * p.m.cost.SecPerOp
+	p.recordSpan(p.meter.Now, p.meter.Now+dt, SpanComp)
+	p.meter.Comp += dt
+	p.meter.Now += dt
+	p.meter.Ops += int64(n)
+}
+
+// Sync completes all outstanding split-phase prefetches, charging the BDM
+// cost tau + m word-times for the batch (m = words outstanding). A Sync with
+// nothing outstanding is free, matching the model's treatment of pipelined
+// prefetch reads. This is the analogue of Split-C's sync().
+func (p *Proc) Sync() {
+	if p.pendingGets == 0 {
+		return
+	}
+	dt := p.m.cost.Tau + float64(p.pendingWords)*p.m.cost.SecPerWord
+	p.recordSpan(p.meter.Now, p.meter.Now+dt, SpanComm)
+	p.meter.Comm += dt
+	p.meter.Now += dt
+	p.meter.Words += p.pendingWords
+	p.meter.Syncs++
+	p.activeEpochWords += p.pendingWords
+	p.pendingWords = 0
+	p.pendingGets = 0
+}
+
+// Pending returns the number of outstanding prefetch operations and the
+// words they will move, for testing and instrumentation.
+func (p *Proc) Pending() (gets int, words int64) {
+	return p.pendingGets, int64(p.pendingWords)
+}
+
+// Barrier blocks until every processor on the machine has called Barrier,
+// then equalizes all simulated clocks to the maximum and charges the
+// machine's barrier cost. This is the analogue of Split-C's barrier().
+//
+// Outstanding prefetches are implicitly completed first (a barrier is a
+// stronger synchronization than sync()).
+func (p *Proc) Barrier() {
+	p.Sync()
+	m := p.m
+	m.bar.await(func() {
+		// Runs on the last arriver with everyone else parked inside
+		// the barrier, so it may touch all meters.
+		m.settleAndEqualize(true)
+	})
+}
+
+// Meter returns a copy of this processor's cost meter.
+func (p *Proc) Meter() Meter { return p.meter }
+
+// Elapsed returns this processor's current simulated clock in seconds.
+func (p *Proc) Elapsed() float64 { return p.meter.Now }
+
+// ChargeTransfer records a split-phase transfer of the given number of
+// 32-bit words from processor srcRank into this processor, completed at
+// the next Sync/Barrier. It is the explicit-accounting escape hatch for
+// payloads that travel through host memory rather than a Spread (e.g.
+// variable-length record lists); srcRank is charged as the passive party.
+// Charging a transfer from oneself is a no-op (local access is free).
+func (p *Proc) ChargeTransfer(srcRank, words int) {
+	if srcRank == p.rank || words <= 0 {
+		return
+	}
+	p.chargeGet(words)
+	p.m.procs[srcRank].passiveWords.Add(int64(words))
+}
+
+// chargeGet records a split-phase transfer of the given number of 32-bit
+// words with a remote processor. Local accesses are free and never reach
+// this method.
+func (p *Proc) chargeGet(words int) {
+	if words <= 0 {
+		return
+	}
+	p.pendingWords += int64(words)
+	p.pendingGets++
+}

@@ -1,0 +1,104 @@
+package bdm
+
+import "fmt"
+
+// Spread is a distributed array in the machine's single global address
+// space: each processor owns one block (row) of perProc elements, the
+// analogue of a Split-C spread array.
+//
+// A processor accesses its own row directly and for free through Local.
+// Remote rows are reached with Get/Put, which copy immediately but charge
+// the transfer as an outstanding split-phase operation completed at the next
+// Sync or Barrier — exactly the ":=" prefetch discipline the paper's
+// algorithms are written in. Programs are responsible for separating remote
+// reads from conflicting writes with barriers, as on a real machine.
+type Spread[T any] struct {
+	m    *Machine
+	rows [][]T
+	flat []T
+}
+
+// NewSpread allocates a spread array with perProc elements per processor in
+// one contiguous allocation.
+func NewSpread[T any](m *Machine, perProc int) *Spread[T] {
+	if perProc < 0 {
+		panic(fmt.Sprintf("bdm: negative spread size %d", perProc))
+	}
+	flat := make([]T, m.p*perProc)
+	rows := make([][]T, m.p)
+	for i := range rows {
+		rows[i] = flat[i*perProc : (i+1)*perProc : (i+1)*perProc]
+	}
+	return &Spread[T]{m: m, rows: rows, flat: flat}
+}
+
+// PerProc returns the number of elements owned by each processor.
+func (s *Spread[T]) PerProc() int {
+	if len(s.rows) == 0 {
+		return 0
+	}
+	return len(s.rows[0])
+}
+
+// Row returns processor rank's block. Calling it for a remote rank bypasses
+// cost accounting; SPMD algorithm code should use Local/Get/Put instead.
+// It is intended for setup and verification code outside the simulated run.
+func (s *Spread[T]) Row(rank int) []T { return s.rows[rank] }
+
+// Local returns the calling processor's own block. Local access is free in
+// the BDM model.
+func (s *Spread[T]) Local(p *Proc) []T { return s.rows[p.rank] }
+
+// Get prefetches len(dst) elements starting at srcOff in processor srcRank's
+// block of s into dst. If srcRank is the caller the access is local and
+// free; otherwise one word per element is charged to the outstanding
+// split-phase batch (use GetW for wider elements). The data is available in
+// dst immediately, but its cost is only incurred at the next Sync/Barrier,
+// matching the BDM pipelined-prefetch rule.
+func Get[T any](p *Proc, dst []T, s *Spread[T], srcRank, srcOff int) {
+	copy(dst, s.rows[srcRank][srcOff:srcOff+len(dst)])
+	if srcRank != p.rank {
+		p.chargeGet(len(dst))
+		s.m.procs[srcRank].passiveWords.Add(int64(len(dst)))
+	}
+}
+
+// GetW is Get with an explicit words-per-element factor for element types
+// wider than one 32-bit word.
+func GetW[T any](p *Proc, dst []T, s *Spread[T], srcRank, srcOff, wordsPerElem int) {
+	copy(dst, s.rows[srcRank][srcOff:srcOff+len(dst)])
+	if srcRank != p.rank {
+		p.chargeGet(len(dst) * wordsPerElem)
+		s.m.procs[srcRank].passiveWords.Add(int64(len(dst) * wordsPerElem))
+	}
+}
+
+// Put stores src into processor dstRank's block at dstOff. Remote stores are
+// charged like prefetches (one word per element); they are split-phase and
+// complete at the next Sync/Barrier.
+func Put[T any](p *Proc, s *Spread[T], dstRank, dstOff int, src []T) {
+	copy(s.rows[dstRank][dstOff:dstOff+len(src)], src)
+	if dstRank != p.rank {
+		p.chargeGet(len(src))
+		s.m.procs[dstRank].passiveWords.Add(int64(len(src)))
+	}
+}
+
+// GetScalar reads one element from a remote (or local) block.
+func GetScalar[T any](p *Proc, s *Spread[T], srcRank, srcOff int) T {
+	v := s.rows[srcRank][srcOff]
+	if srcRank != p.rank {
+		p.chargeGet(1)
+		s.m.procs[srcRank].passiveWords.Add(1)
+	}
+	return v
+}
+
+// PutScalar writes one element into a remote (or local) block.
+func PutScalar[T any](p *Proc, s *Spread[T], dstRank, dstOff int, v T) {
+	s.rows[dstRank][dstOff] = v
+	if dstRank != p.rank {
+		p.chargeGet(1)
+		s.m.procs[dstRank].passiveWords.Add(1)
+	}
+}

@@ -1,0 +1,155 @@
+package bdm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetWChargesWiderElements(t *testing.T) {
+	m := mustMachine(t, 2, testCost)
+	s := NewSpread[uint64](m, 10)
+	for i := range s.Row(1) {
+		s.Row(1)[i] = uint64(i) << 32
+	}
+	rep, err := m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			dst := make([]uint64, 10)
+			GetW(p, dst, s, 1, 0, 2) // 64-bit elements = 2 words each
+			p.Sync()
+			for i, v := range dst {
+				if v != uint64(i)<<32 {
+					t.Errorf("dst[%d] = %x", i, v)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testCost.Tau + 20*testCost.SecPerWord
+	if math.Abs(rep.CommTime-want) > 1e-12 {
+		t.Errorf("CommTime = %g, want %g", rep.CommTime, want)
+	}
+	if rep.Words != 20 {
+		t.Errorf("Words = %d, want 20", rep.Words)
+	}
+}
+
+func TestPendingAccounting(t *testing.T) {
+	m := mustMachine(t, 2, testCost)
+	s := NewSpread[uint32](m, 16)
+	if _, err := m.Run(func(p *Proc) {
+		if p.Rank() != 0 {
+			return
+		}
+		gets, words := p.Pending()
+		if gets != 0 || words != 0 {
+			t.Errorf("fresh proc pending = (%d, %d)", gets, words)
+		}
+		dst := make([]uint32, 4)
+		Get(p, dst, s, 1, 0)
+		Get(p, dst, s, 1, 4)
+		gets, words = p.Pending()
+		if gets != 2 || words != 8 {
+			t.Errorf("pending = (%d, %d), want (2, 8)", gets, words)
+		}
+		p.Sync()
+		gets, words = p.Pending()
+		if gets != 0 || words != 0 {
+			t.Errorf("pending after Sync = (%d, %d)", gets, words)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElapsedAndMeterProgress(t *testing.T) {
+	m := mustMachine(t, 1, testCost)
+	if _, err := m.Run(func(p *Proc) {
+		if p.Elapsed() != 0 {
+			t.Errorf("initial Elapsed = %g", p.Elapsed())
+		}
+		p.Work(100)
+		if got := p.Elapsed(); math.Abs(got-100*testCost.SecPerOp) > 1e-15 {
+			t.Errorf("Elapsed after Work = %g", got)
+		}
+		meter := p.Meter()
+		if meter.Ops != 100 {
+			t.Errorf("Ops = %d", meter.Ops)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkIgnoresNonPositive(t *testing.T) {
+	m := mustMachine(t, 1, testCost)
+	rep, err := m.Run(func(p *Proc) {
+		p.Work(0)
+		p.Work(-5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CompTime != 0 || rep.Ops != 0 {
+		t.Errorf("non-positive Work charged: %+v", rep)
+	}
+}
+
+func TestNewSpreadPanicsOnNegative(t *testing.T) {
+	m := mustMachine(t, 2, testCost)
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for negative size")
+		}
+	}()
+	NewSpread[uint32](m, -1)
+}
+
+func TestSpreadZeroSize(t *testing.T) {
+	m := mustMachine(t, 4, testCost)
+	s := NewSpread[uint32](m, 0)
+	if s.PerProc() != 0 {
+		t.Errorf("PerProc = %d", s.PerProc())
+	}
+}
+
+// TestQuickGetRoundTrip: any block written through Put is read back
+// identically through Get, regardless of offsets, and the charge matches
+// the element count.
+func TestQuickGetRoundTrip(t *testing.T) {
+	f := func(data []uint32, offSel uint8) bool {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		off := int(offSel) % 32
+		m, err := NewMachine(2, testCost)
+		if err != nil {
+			return false
+		}
+		s := NewSpread[uint32](m, 128)
+		ok := true
+		if _, err := m.Run(func(p *Proc) {
+			if p.Rank() == 0 {
+				Put(p, s, 1, off, data)
+			}
+			p.Barrier()
+			if p.Rank() == 1 {
+				got := make([]uint32, len(data))
+				Get(p, got, s, 1, off) // local read
+				for i := range data {
+					if got[i] != data[i] {
+						ok = false
+					}
+				}
+			}
+		}); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

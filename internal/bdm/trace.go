@@ -1,0 +1,74 @@
+package bdm
+
+// Execution tracing: when enabled, every processor records its activity
+// as (start, end, kind) spans on the simulated clock — computation, the
+// communication charged at each Sync, and barrier waits. The spans power
+// the text Gantt chart of `experiments gantt` and give tests visibility
+// into the shape of an SPMD schedule. Tracing is off by default and costs
+// nothing when disabled.
+
+// SpanKind classifies a trace span.
+type SpanKind int
+
+const (
+	// SpanComp is charged local computation.
+	SpanComp SpanKind = iota
+	// SpanComm is charged communication (latency + transfer at a Sync).
+	SpanComm
+	// SpanWait is idle time at a barrier (clock equalization).
+	SpanWait
+)
+
+func (k SpanKind) String() string {
+	switch k {
+	case SpanComp:
+		return "comp"
+	case SpanComm:
+		return "comm"
+	case SpanWait:
+		return "wait"
+	}
+	return "?"
+}
+
+// Span is one activity interval on a processor's simulated clock.
+type Span struct {
+	Start, End float64
+	Kind       SpanKind
+}
+
+// SetTracing enables or disables span recording; it also clears previously
+// recorded spans. Must not be called while Run is in flight.
+func (m *Machine) SetTracing(on bool) {
+	m.tracing = on
+	for _, p := range m.procs {
+		p.spans = nil
+	}
+}
+
+// Traces returns each processor's recorded spans (nil when tracing is
+// disabled). The slices are live; callers must not mutate them.
+func (m *Machine) Traces() [][]Span {
+	out := make([][]Span, m.p)
+	for i, p := range m.procs {
+		out[i] = p.spans
+	}
+	return out
+}
+
+// recordSpan appends a span to the processor's trace when tracing is on.
+// Zero-length spans are skipped.
+func (p *Proc) recordSpan(start, end float64, kind SpanKind) {
+	if !p.m.tracing || end <= start {
+		return
+	}
+	// Coalesce with the previous span when contiguous and same kind.
+	if n := len(p.spans); n > 0 {
+		last := &p.spans[n-1]
+		if last.Kind == kind && last.End == start {
+			last.End = end
+			return
+		}
+	}
+	p.spans = append(p.spans, Span{Start: start, End: end, Kind: kind})
+}

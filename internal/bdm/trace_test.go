@@ -1,0 +1,124 @@
+package bdm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	m := mustMachine(t, 2, testCost)
+	if _, err := m.Run(func(p *Proc) { p.Work(10); p.Barrier() }); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range m.Traces() {
+		if tr != nil {
+			t.Fatal("spans recorded without tracing")
+		}
+	}
+}
+
+func TestTraceSpansCoverClock(t *testing.T) {
+	m := mustMachine(t, 4, testCost)
+	m.SetTracing(true)
+	s := NewSpread[uint32](m, 64)
+	rep, err := m.Run(func(p *Proc) {
+		p.Work(100 * (p.Rank() + 1))
+		dst := make([]uint32, 64)
+		Get(p, dst, s, (p.Rank()+1)%4, 0)
+		p.Barrier()
+		p.Work(50)
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := m.Traces()
+	for rank, tr := range traces {
+		if len(tr) == 0 {
+			t.Fatalf("proc %d has no spans", rank)
+		}
+		var comp, comm, wait float64
+		prevEnd := 0.0
+		for _, sp := range tr {
+			if sp.End <= sp.Start {
+				t.Fatalf("proc %d: empty span %+v", rank, sp)
+			}
+			if sp.Start < prevEnd {
+				t.Fatalf("proc %d: overlapping spans", rank)
+			}
+			prevEnd = sp.End
+			switch sp.Kind {
+			case SpanComp:
+				comp += sp.End - sp.Start
+			case SpanComm:
+				comm += sp.End - sp.Start
+			case SpanWait:
+				wait += sp.End - sp.Start
+			}
+		}
+		pm := rep.Procs[rank]
+		if math.Abs(comp-pm.Comp) > 1e-12 {
+			t.Errorf("proc %d: traced comp %g, meter %g", rank, comp, pm.Comp)
+		}
+		if math.Abs(comm-pm.Comm) > 1e-12 {
+			t.Errorf("proc %d: traced comm %g, meter %g", rank, comm, pm.Comm)
+		}
+		if math.Abs(wait-pm.Wait) > 1e-12 {
+			t.Errorf("proc %d: traced wait %g, meter %g", rank, wait, pm.Wait)
+		}
+	}
+	// The slowest processor (rank 3) did the most comp; the fastest
+	// (rank 0) must show wait spans.
+	hasWait := false
+	for _, sp := range traces[0] {
+		if sp.Kind == SpanWait {
+			hasWait = true
+		}
+	}
+	if !hasWait {
+		t.Error("fastest processor has no wait span")
+	}
+}
+
+func TestTraceCoalescesAdjacentSameKind(t *testing.T) {
+	m := mustMachine(t, 1, testCost)
+	m.SetTracing(true)
+	if _, err := m.Run(func(p *Proc) {
+		p.Work(10)
+		p.Work(20) // contiguous, same kind: must coalesce
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Traces()[0]
+	if len(tr) != 1 {
+		t.Fatalf("spans = %v, want one coalesced span", tr)
+	}
+	want := 30 * testCost.SecPerOp
+	if math.Abs((tr[0].End-tr[0].Start)-want) > 1e-15 {
+		t.Errorf("coalesced span length %g, want %g", tr[0].End-tr[0].Start, want)
+	}
+}
+
+func TestSetTracingClears(t *testing.T) {
+	m := mustMachine(t, 1, testCost)
+	m.SetTracing(true)
+	if _, err := m.Run(func(p *Proc) { p.Work(5) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Traces()[0]) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	m.SetTracing(true)
+	if len(m.Traces()[0]) != 0 {
+		t.Error("SetTracing did not clear old spans")
+	}
+}
+
+func TestSpanKindStrings(t *testing.T) {
+	if SpanComp.String() != "comp" || SpanComm.String() != "comm" || SpanWait.String() != "wait" {
+		t.Error("span kind strings")
+	}
+	if SpanKind(9).String() != "?" {
+		t.Error("unknown span kind string")
+	}
+}

@@ -1,0 +1,130 @@
+// Package bench implements the experiment harness that regenerates every
+// table and figure of the paper's evaluation: workload generation,
+// parameter sweeps over machines, processor counts, image sizes and grey
+// levels, and plain-text rendering of the resulting series. It is shared by
+// cmd/experiments and the benchmarks in the repository root.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"parimg/internal/bdm"
+	"parimg/internal/cc"
+	"parimg/internal/hist"
+	"parimg/internal/image"
+	"parimg/internal/priorwork"
+	"parimg/internal/seq"
+)
+
+// Style selects the output format of WriteTable: aligned text (default) or
+// CSV (for plotting the figure series with external tools). It is set once
+// by cmd/experiments before any experiment runs.
+type TableStyle int
+
+const (
+	// StyleText renders aligned plain-text tables.
+	StyleText TableStyle = iota
+	// StyleCSV renders RFC-4180 CSV rows.
+	StyleCSV
+)
+
+// Style is the active table style.
+var Style = StyleText
+
+// WriteTable renders rows under headers in the active Style.
+func WriteTable(w io.Writer, headers []string, rows [][]string) {
+	if Style == StyleCSV {
+		cw := csv.NewWriter(w)
+		_ = cw.Write(headers)
+		_ = cw.WriteAll(rows)
+		cw.Flush()
+		return
+	}
+	writeTextTable(w, headers, rows)
+}
+
+// writeTextTable renders rows under headers with aligned columns.
+func writeTextTable(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cols []string) {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	rule := make([]string, len(headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// Secs formats a duration in seconds the way the paper's tables do.
+func Secs(s float64) string { return priorwork.FormatSeconds(s) }
+
+// HistRun runs the parallel histogramming of an n x n, k grey-level random
+// image on p processors of the given machine and returns the report.
+func HistRun(spec bdm.CostParams, p, n, k int) (bdm.Report, error) {
+	m, err := bdm.NewMachine(p, spec)
+	if err != nil {
+		return bdm.Report{}, err
+	}
+	im := image.RandomGrey(n, k, uint64(n)*31+uint64(k))
+	res, err := hist.Run(m, im, k)
+	if err != nil {
+		return bdm.Report{}, err
+	}
+	return res.Report, nil
+}
+
+// CCRun runs the parallel connected components of im on p processors of
+// the given machine and returns the report.
+func CCRun(spec bdm.CostParams, p int, im *image.Image, opt cc.Options) (bdm.Report, error) {
+	m, err := bdm.NewMachine(p, spec)
+	if err != nil {
+		return bdm.Report{}, err
+	}
+	res, err := cc.Run(m, im, opt)
+	if err != nil {
+		return bdm.Report{}, err
+	}
+	return res.Report, nil
+}
+
+// CCMeanOverCatalog runs connected components on all nine catalog test
+// images of side n and returns the mean simulated time, mirroring the
+// paper's "mean of test images" rows.
+func CCMeanOverCatalog(spec bdm.CostParams, p, n int) (float64, error) {
+	var sum float64
+	for _, id := range image.AllPatterns() {
+		im := image.Generate(id, n)
+		rep, err := CCRun(spec, p, im, cc.Options{Conn: image.Conn8, Mode: seq.Binary})
+		if err != nil {
+			return 0, fmt.Errorf("%v: %w", id, err)
+		}
+		sum += rep.SimTime
+	}
+	return sum / float64(len(image.AllPatterns())), nil
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"parimg/internal/cc"
+	"parimg/internal/image"
+	"parimg/internal/machine"
+	"parimg/internal/seq"
+)
+
+func TestWriteTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTable(&buf, []string{"a", "long-header"}, [][]string{
+		{"xxxxxx", "1"},
+		{"y", "2"},
+	})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "a     ") {
+		t.Errorf("header not padded: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "------") {
+		t.Errorf("no rule line: %q", lines[1])
+	}
+}
+
+func TestWriteTableCSVStyle(t *testing.T) {
+	old := Style
+	Style = StyleCSV
+	defer func() { Style = old }()
+	var buf bytes.Buffer
+	WriteTable(&buf, []string{"a", "b"}, [][]string{{"1", "x,y"}, {"2", `q"uote`}})
+	got := buf.String()
+	want := "a,b\n1,\"x,y\"\n2,\"q\"\"uote\"\n"
+	if got != want {
+		t.Errorf("CSV output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestHistRunAndCCRun(t *testing.T) {
+	rep, err := HistRun(machine.CM5, 4, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SimTime <= 0 {
+		t.Error("HistRun reported no time")
+	}
+	im := image.Generate(image.Cross, 64)
+	rep, err = CCRun(machine.SP2, 4, im, cc.Options{Conn: image.Conn8, Mode: seq.Binary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SimTime <= 0 {
+		t.Error("CCRun reported no time")
+	}
+}
+
+func TestCCMeanOverCatalog(t *testing.T) {
+	mean, err := CCMeanOverCatalog(machine.CM5, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 {
+		t.Error("mean time not positive")
+	}
+}
+
+// The experiment generators must run cleanly end to end (small sizes where
+// selectable); this guards cmd/experiments against bit-rot.
+func TestExperimentGeneratorsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment regeneration is slow")
+	}
+	checks := []struct {
+		name string
+		run  func() (string, error)
+	}{
+		{"table1", func() (string, error) {
+			var b bytes.Buffer
+			err := Table1(&b)
+			return b.String(), err
+		}},
+		{"figtranspose", func() (string, error) {
+			var b bytes.Buffer
+			err := FigTranspose(&b, machine.Paragon, 8)
+			return b.String(), err
+		}},
+		{"fig11", func() (string, error) {
+			var b bytes.Buffer
+			err := Fig11(&b)
+			return b.String(), err
+		}},
+		{"histdetail", func() (string, error) {
+			var b bytes.Buffer
+			err := FigHistDetail(&b, machine.SP1, 16)
+			return b.String(), err
+		}},
+		{"ccdetail", func() (string, error) {
+			var b bytes.Buffer
+			err := FigCCDetail(&b, machine.CM5, 16, []int{128})
+			return b.String(), err
+		}},
+	}
+	for _, c := range checks {
+		out, err := c.run()
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if len(out) < 100 {
+			t.Errorf("%s: suspiciously short output (%d bytes)", c.name, len(out))
+		}
+		if !strings.Contains(out, "--") {
+			t.Errorf("%s: no table rule in output", c.name)
+		}
+	}
+}
+
+// TestAllExperimentsRun exercises every exhibit generator end to end, as
+// cmd/experiments would; guarded by -short because the full set simulates
+// every figure of the paper (~10-30 s).
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment regeneration is slow")
+	}
+	exhibits := map[string]func(io.Writer) error{
+		"table1":      Table1,
+		"table2":      Table2,
+		"fig3":        Fig3,
+		"fig6":        func(w io.Writer) error { return FigTranspose(w, machine.CM5, 32) },
+		"fig9":        func(w io.Writer) error { return FigTranspose(w, machine.Paragon, 8) },
+		"fig10":       Fig10,
+		"fig11":       Fig11,
+		"fig13":       func(w io.Writer) error { return FigHistDetail(w, machine.CM5, 32) },
+		"fig16":       func(w io.Writer) error { return FigCCDetail(w, machine.CM5, 32, []int{512}) },
+		"fig21":       func(w io.Writer) error { return FigCCDetail(w, machine.SP2, 32, []int{128, 256}) },
+		"baseline":    Baseline,
+		"efficiency":  Efficiency,
+		"phases":      Phases,
+		"utilization": Utilization,
+		"ablations":   Ablations,
+		"gantt":       Gantt,
+	}
+	for name, run := range exhibits {
+		name, run := name, run
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if buf.Len() < 80 {
+				t.Errorf("%s: output too short (%d bytes)", name, buf.Len())
+			}
+		})
+	}
+}
+
+func TestGanttShowsAllKinds(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Gantt(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, ch := range []string{"#", "~", "."} {
+		if !strings.Contains(out, ch) {
+			t.Errorf("gantt missing %q activity", ch)
+		}
+	}
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "P7") {
+		t.Error("gantt missing processor rows")
+	}
+}
+
+func TestTable1ContainsReproductions(t *testing.T) {
+	var b bytes.Buffer
+	if err := Table1(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, needle := range []string{"Bader and JaJa", "TMC CM-5", "IBM SP-2", "Intel Paragon", "work/pixel"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("Table1 output missing %q", needle)
+		}
+	}
+	// Every this-paper row must carry a reproduced value: count data
+	// cells in the last column by checking each Bader line has >= 8
+	// fields.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "Bader and JaJa") && !strings.Contains(strings.TrimSpace(line), "ms") {
+			t.Errorf("Bader row without a time: %q", line)
+		}
+	}
+}

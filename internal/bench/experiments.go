@@ -1,0 +1,712 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"parimg/internal/bdm"
+	"parimg/internal/cc"
+	"parimg/internal/comm"
+	"parimg/internal/hist"
+	"parimg/internal/image"
+	"parimg/internal/machine"
+	"parimg/internal/priorwork"
+	"parimg/internal/seq"
+)
+
+// histOn runs parallel histogramming of im with k grey levels on p
+// processors of spec.
+func histOn(spec bdm.CostParams, p int, im *image.Image, k int) (bdm.Report, error) {
+	m, err := bdm.NewMachine(p, spec)
+	if err != nil {
+		return bdm.Report{}, err
+	}
+	res, err := hist.Run(m, im, k)
+	if err != nil {
+		return bdm.Report{}, err
+	}
+	return res.Report, nil
+}
+
+// Table1 regenerates the histogramming survey: every row of the paper's
+// Table 1 plus, for each of this paper's rows, our simulated reproduction
+// of the same configuration (512 x 512 image, 256 grey levels).
+func Table1(w io.Writer) error {
+	fmt.Fprintln(w, "Table 1: Implementation Results of Parallel Histogramming Algorithms")
+	fmt.Fprintln(w, "(reproduced rows simulate a 512x512, 256 grey-level image)")
+	fmt.Fprintln(w)
+	headers := []string{"Year", "Researcher(s)", "Machine", "PEs", "Image", "Time", "work/pixel", "Reproduced", "w/p repro"}
+	var rows [][]string
+	for _, r := range priorwork.Table1() {
+		row := []string{
+			fmt.Sprint(r.Year), r.Researchers, r.Machine, fmt.Sprint(r.PEs),
+			fmt.Sprintf("%dx%d", r.ImageSize, r.ImageSize),
+			Secs(r.Seconds), Secs(r.WorkPerPixel()), "", "",
+		}
+		if r.ThisPaper {
+			spec, err := specForMachine(r.Machine)
+			if err != nil {
+				return err
+			}
+			im := image.RandomGrey(r.ImageSize, 256, 1994)
+			rep, err := histOn(spec, r.PEs, im, 256)
+			if err != nil {
+				return err
+			}
+			row[7] = Secs(rep.SimTime)
+			row[8] = Secs(rep.WorkPerPixel(r.ImageSize * r.ImageSize))
+		}
+		rows = append(rows, row)
+	}
+	WriteTable(w, headers, rows)
+	return nil
+}
+
+// Table2 regenerates the connected components survey: the cross-checked
+// prior rows plus, for each of this paper's rows, our simulated
+// reproduction (synthetic DARPA scene for "DARPA II Image" rows, mean over
+// the nine-image catalog for "mean of test images" rows).
+func Table2(w io.Writer) error {
+	fmt.Fprintln(w, "Table 2: Implementation Results of Parallel Connected Components of Images")
+	fmt.Fprintln(w, "(representative prior rows; all of this paper's rows, with reproductions)")
+	fmt.Fprintln(w)
+	headers := []string{"Year", "Researcher(s)", "Machine", "PEs", "Image", "Time", "work/pix", "Notes", "Reproduced"}
+	var rows [][]string
+	darpa := image.DARPASynthetic()
+	for _, r := range priorwork.Table2() {
+		row := []string{
+			fmt.Sprint(r.Year), r.Researchers, r.Machine, fmt.Sprint(r.PEs),
+			fmt.Sprintf("%dx%d", r.ImageSize, r.ImageSize),
+			Secs(r.Seconds), Secs(r.WorkPerPixel()), r.Notes, "",
+		}
+		if r.ThisPaper {
+			spec, err := specForMachine(r.Machine)
+			if err != nil {
+				return err
+			}
+			var sim float64
+			if r.Notes == "mean of test images" {
+				sim, err = CCMeanOverCatalog(spec, r.PEs, r.ImageSize)
+				if err != nil {
+					return err
+				}
+			} else {
+				rep, err := CCRun(spec, r.PEs, darpa, cc.Options{Conn: image.Conn8, Mode: seq.Grey})
+				if err != nil {
+					return err
+				}
+				sim = rep.SimTime
+			}
+			row[8] = Secs(sim)
+		}
+		rows = append(rows, row)
+	}
+	WriteTable(w, headers, rows)
+	return nil
+}
+
+func specForMachine(name string) (bdm.CostParams, error) {
+	switch name {
+	case "TMC CM-5":
+		return machine.CM5, nil
+	case "IBM SP-1":
+		return machine.SP1, nil
+	case "IBM SP-2":
+		return machine.SP2, nil
+	case "Meiko CS-2":
+		return machine.CS2, nil
+	case "Intel Paragon":
+		return machine.Paragon, nil
+	}
+	return bdm.CostParams{}, fmt.Errorf("bench: no profile for machine %q", name)
+}
+
+// Fig3 regenerates the CM-5 scalability summary: histogramming time versus
+// n^2 for p = 16..128 (k = 256), and connected components time (mean over
+// the catalog) for p = 16..128.
+func Fig3(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 3 (left): Histogramming scalability on the CM-5, k=256")
+	fmt.Fprintln(w)
+	ps := []int{16, 32, 64, 128}
+	headers := []string{"n", "n^2"}
+	for _, p := range ps {
+		headers = append(headers, fmt.Sprintf("p=%d", p))
+	}
+	var rows [][]string
+	for _, n := range []int{128, 256, 512, 1024, 2048, 4096} {
+		im := image.RandomGrey(n, 256, uint64(n))
+		row := []string{fmt.Sprint(n), fmt.Sprint(n * n)}
+		for _, p := range ps {
+			rep, err := histOn(machine.CM5, p, im, 256)
+			if err != nil {
+				return err
+			}
+			row = append(row, Secs(rep.SimTime))
+		}
+		rows = append(rows, row)
+	}
+	WriteTable(w, headers, rows)
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Figure 3 (right): Connected components scalability on the CM-5")
+	fmt.Fprintln(w, "(mean over the nine binary test images)")
+	fmt.Fprintln(w)
+	rows = nil
+	for _, n := range []int{128, 256, 512, 1024} {
+		row := []string{fmt.Sprint(n), fmt.Sprint(n * n)}
+		for _, p := range ps {
+			mean, err := CCMeanOverCatalog(machine.CM5, p, n)
+			if err != nil {
+				return err
+			}
+			row = append(row, Secs(mean))
+		}
+		rows = append(rows, row)
+	}
+	WriteTable(w, headers, rows)
+	return nil
+}
+
+// FigTranspose regenerates one of Figures 6-9: matrix transpose and
+// broadcast execution time and attained per-processor bandwidth on the
+// given machine with p processors, over a sweep of block sizes.
+func FigTranspose(w io.Writer, spec bdm.CostParams, p int) error {
+	fmt.Fprintf(w, "Transpose and broadcast on the %s (p=%d)\n\n", spec.Name, p)
+	headers := []string{"q elems/proc", "bytes/proc", "transpose", "T bw MB/s", "broadcast", "B bw MB/s"}
+	var rows [][]string
+	for q := 1 << 10; q <= 1<<20; q <<= 2 {
+		m, err := bdm.NewMachine(p, spec)
+		if err != nil {
+			return err
+		}
+		in := bdm.NewSpread[uint32](m, q)
+		out := bdm.NewSpread[uint32](m, q)
+		repT, err := m.Run(func(pr *bdm.Proc) { comm.Transpose(pr, out, in, q) })
+		if err != nil {
+			return err
+		}
+		m.Reset()
+		scratch := bdm.NewSpread[uint32](m, q)
+		repB, err := m.Run(func(pr *bdm.Proc) { comm.Broadcast(pr, out, scratch, q, 0) })
+		if err != nil {
+			return err
+		}
+		moved := float64(q-q/p) * 4 // bytes through each processor
+		rows = append(rows, []string{
+			fmt.Sprint(q), fmt.Sprint(q * 4),
+			Secs(repT.SimTime), fmt.Sprintf("%.2f", moved/repT.CommTime/1e6),
+			Secs(repB.SimTime), fmt.Sprintf("%.2f", 2*moved/repB.CommTime/1e6),
+		})
+	}
+	WriteTable(w, headers, rows)
+	fmt.Fprintf(w, "\nprofile bandwidth ceiling: %.2f MB/s per processor\n", spec.BandwidthMBps())
+	return nil
+}
+
+// Fig10 regenerates the cross-machine DARPA benchmark figure: grey-scale
+// connected components of the 512x512 synthetic DARPA scene on every
+// machine of the study for p = 16..128.
+func Fig10(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 10: Connected components of the 512x512 DARPA benchmark scene")
+	fmt.Fprintln(w, "(synthetic stand-in; grey-scale components, 8-connectivity)")
+	fmt.Fprintln(w)
+	ps := []int{16, 32, 64, 128}
+	headers := []string{"Machine"}
+	for _, p := range ps {
+		headers = append(headers, fmt.Sprintf("p=%d", p))
+	}
+	darpa := image.DARPASynthetic()
+	var rows [][]string
+	for _, spec := range machine.All() {
+		row := []string{spec.Name}
+		for _, p := range ps {
+			rep, err := CCRun(spec, p, darpa, cc.Options{Conn: image.Conn8, Mode: seq.Grey})
+			if err != nil {
+				return err
+			}
+			row = append(row, Secs(rep.SimTime))
+		}
+		rows = append(rows, row)
+	}
+	WriteTable(w, headers, rows)
+	return nil
+}
+
+// Fig11 regenerates the computation/communication split of histogramming
+// for 32 and 256 grey levels (CM-5, p=32): communication is flat in n while
+// computation grows as n^2/p.
+func Fig11(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 11: Histogramming computation vs communication time (CM-5, p=32)")
+	fmt.Fprintln(w)
+	for _, k := range []int{32, 256} {
+		fmt.Fprintf(w, "k = %d grey levels\n", k)
+		headers := []string{"n", "computation", "communication", "total"}
+		var rows [][]string
+		for _, n := range []int{128, 256, 512, 1024, 2048} {
+			im := image.RandomGrey(n, k, uint64(n+k))
+			rep, err := histOn(machine.CM5, 32, im, k)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, []string{
+				fmt.Sprint(n), Secs(rep.CompTime), Secs(rep.CommTime), Secs(rep.SimTime),
+			})
+		}
+		WriteTable(w, headers, rows)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// FigHistDetail regenerates one of the per-machine histogramming detail
+// figures (Figures 12-14, 18, 20): time versus number of grey levels for
+// image sizes 128..1024 on the given machine and processor count.
+func FigHistDetail(w io.Writer, spec bdm.CostParams, p int) error {
+	fmt.Fprintf(w, "Histogramming on the %s (p=%d): time vs grey levels\n\n", spec.Name, p)
+	ns := []int{128, 256, 512, 1024}
+	headers := []string{"k"}
+	for _, n := range ns {
+		headers = append(headers, fmt.Sprintf("%dx%d", n, n))
+	}
+	var rows [][]string
+	for _, k := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+		row := []string{fmt.Sprint(k)}
+		for _, n := range ns {
+			im := image.RandomGrey(n, k, uint64(n*3+k))
+			rep, err := histOn(spec, p, im, k)
+			if err != nil {
+				return err
+			}
+			row = append(row, Secs(rep.SimTime))
+		}
+		rows = append(rows, row)
+	}
+	WriteTable(w, headers, rows)
+	return nil
+}
+
+// Phases prints the per-stage breakdown of the connected components run on
+// the dual spiral: initialization, each of the log p merge iterations, and
+// the final total-consistency update. Merge iteration costs grow as border
+// lengths double, matching the Section 5.3 analysis of the prefetch volume
+// per phase (4q*2^(t/2) pixels), while the one-time init and final stages
+// carry the O(n^2/p) terms.
+func Phases(w io.Writer) error {
+	fmt.Fprintln(w, "Per-stage breakdown of connected components (CM-5, 512x512 dual spiral)")
+	fmt.Fprintln(w)
+	ps := []int{16, 64}
+	im := image.Generate(image.DualSpiral, 512)
+	for _, p := range ps {
+		m, err := bdm.NewMachine(p, machine.CM5)
+		if err != nil {
+			return err
+		}
+		res, err := cc.Run(m, im, cc.Options{Conn: image.Conn8, Mode: seq.Binary})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "p = %d (total %s):\n", p, Secs(res.Report.SimTime))
+		headers := []string{"stage", "sim time", "share"}
+		rows := [][]string{{"init (tile BFS + hooks)", Secs(res.Stages.Init),
+			fmt.Sprintf("%.1f%%", 100*res.Stages.Init/res.Report.SimTime)}}
+		for i, ph := range res.Stages.Merge {
+			rows = append(rows, []string{fmt.Sprintf("merge %d", i+1), Secs(ph),
+				fmt.Sprintf("%.1f%%", 100*ph/res.Report.SimTime)})
+		}
+		rows = append(rows, []string{"final update", Secs(res.Stages.Final),
+			fmt.Sprintf("%.1f%%", 100*res.Stages.Final/res.Report.SimTime)})
+		WriteTable(w, headers, rows)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Gantt renders a text timeline of every processor's activity during a
+// connected components run (p=8, 128x128 dual spiral): '#' computation,
+// '~' communication, '.' barrier wait. The initialization block, the three
+// merge iterations with their manager-concentrated activity, and the final
+// update are all visible.
+func Gantt(w io.Writer) error {
+	p := 8
+	m, err := bdm.NewMachine(p, machine.CM5)
+	if err != nil {
+		return err
+	}
+	m.SetTracing(true)
+	im := image.Generate(image.DualSpiral, 128)
+	res, err := cc.Run(m, im, cc.Options{Conn: image.Conn8, Mode: seq.Binary})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Activity timeline: connected components of the 128x128 dual spiral\n")
+	fmt.Fprintf(w, "(CM-5, p=%d, total %s; '#' comp, '~' comm, '.' wait)\n\n", p, Secs(res.Report.SimTime))
+
+	const cols = 100
+	total := res.Report.SimTime
+	for rank, spans := range m.Traces() {
+		line := make([]byte, cols)
+		for i := range line {
+			line[i] = ' '
+		}
+		for _, sp := range spans {
+			lo := int(sp.Start / total * cols)
+			hi := int(sp.End / total * cols)
+			if hi >= cols {
+				hi = cols - 1
+			}
+			ch := byte('#')
+			switch sp.Kind {
+			case bdm.SpanComm:
+				ch = '~'
+			case bdm.SpanWait:
+				ch = '.'
+			}
+			for i := lo; i <= hi; i++ {
+				// Communication and waits may be shorter than a
+				// column; never let them overwrite computation.
+				if line[i] == '#' && ch == '.' {
+					continue
+				}
+				line[i] = ch
+			}
+		}
+		fmt.Fprintf(w, "P%-2d |%s|\n", rank, line)
+	}
+	fmt.Fprintf(w, "\nstage boundaries: init %s, merges %s, final %s\n",
+		Secs(res.Stages.Init), Secs(res.Report.SimTime-res.Stages.Init-res.Stages.Final),
+		Secs(res.Stages.Final))
+	return nil
+}
+
+// Ablations consolidates the design-choice ablations of DESIGN.md into one
+// exhibit: limited updating vs full relabeling, shadow managers on/off,
+// transpose-based vs direct change distribution, the transpose-based
+// histogram rearrangement vs naive fan-in collection, and Algorithm 2
+// broadcast vs naive fan-out.
+func Ablations(w io.Writer) error {
+	fmt.Fprintln(w, "Design-choice ablations (CM-5 profile, simulated times)")
+	fmt.Fprintln(w)
+
+	// Connected components variants on the 512x512 dual spiral.
+	im := image.Generate(image.DualSpiral, 512)
+	ccCase := func(p int, opt cc.Options) (float64, error) {
+		m, err := bdm.NewMachine(p, machine.CM5)
+		if err != nil {
+			return 0, err
+		}
+		res, err := cc.Run(m, im, opt)
+		if err != nil {
+			return 0, err
+		}
+		return res.Report.SimTime, err
+	}
+	fmt.Fprintln(w, "Connected components (512x512 dual spiral):")
+	headers := []string{"variant", "p=16", "p=64"}
+	var rows [][]string
+	for _, v := range []struct {
+		name string
+		opt  cc.Options
+	}{
+		{"paper configuration", cc.Options{}},
+		{"full relabel every merge", cc.Options{FullRelabel: true}},
+		{"no shadow managers", cc.Options{NoShadow: true}},
+		{"direct change distribution", cc.Options{ChangeDist: cc.DistDirect}},
+	} {
+		row := []string{v.name}
+		for _, p := range []int{16, 64} {
+			opt := v.opt
+			opt.Conn = image.Conn8
+			opt.Mode = seq.Binary
+			tm, err := ccCase(p, opt)
+			if err != nil {
+				return err
+			}
+			row = append(row, Secs(tm))
+		}
+		rows = append(rows, row)
+	}
+	WriteTable(w, headers, rows)
+
+	// Histogram collection strategy.
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Histogram rearrangement (512x512, k=256) - communication time only:")
+	him := image.RandomGrey(512, 256, 77)
+	headers = []string{"variant", "p=4", "p=16", "p=64"}
+	rows = nil
+	for _, naive := range []bool{false, true} {
+		name := "transpose + collect (Section 4)"
+		if naive {
+			name = "naive fan-in to processor 0"
+		}
+		row := []string{name}
+		for _, p := range []int{4, 16, 64} {
+			m, err := bdm.NewMachine(p, machine.CM5)
+			if err != nil {
+				return err
+			}
+			var res *hist.Result
+			if naive {
+				res, err = hist.RunNaive(m, him, 256)
+			} else {
+				res, err = hist.Run(m, him, 256)
+			}
+			if err != nil {
+				return err
+			}
+			row = append(row, Secs(res.Report.CommTime))
+		}
+		rows = append(rows, row)
+	}
+	WriteTable(w, headers, rows)
+
+	// Broadcast strategy.
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Broadcast of q words (p=32):")
+	headers = []string{"variant", "q=4096", "q=65536", "q=1048576"}
+	rows = nil
+	for _, naive := range []bool{false, true} {
+		name := "two transpositions (Algorithm 2)"
+		if naive {
+			name = "naive fan-out from root"
+		}
+		row := []string{name}
+		for _, q := range []int{4096, 65536, 1048576} {
+			m, err := bdm.NewMachine(32, machine.CM5)
+			if err != nil {
+				return err
+			}
+			buf := bdm.NewSpread[uint32](m, q)
+			var rep bdm.Report
+			if naive {
+				rep, err = m.Run(func(pr *bdm.Proc) { comm.BroadcastNaive(pr, buf, q, 0) })
+			} else {
+				scratch := bdm.NewSpread[uint32](m, q)
+				rep, err = m.Run(func(pr *bdm.Proc) { comm.Broadcast(pr, buf, scratch, q, 0) })
+			}
+			if err != nil {
+				return err
+			}
+			row = append(row, Secs(rep.SimTime))
+		}
+		rows = append(rows, row)
+	}
+	WriteTable(w, headers, rows)
+	return nil
+}
+
+// Utilization prints the per-processor cost split (computation,
+// communication, barrier wait) of a connected components run. The
+// manager-centric merging concentrates merge work on a few processors;
+// the wait column quantifies how much the clients idle — the load-balance
+// consideration behind the paper's shadow managers and its choice to keep
+// merge work proportional to borders only.
+func Utilization(w io.Writer) error {
+	p := 16
+	im := image.Generate(image.DualSpiral, 512)
+	m, err := bdm.NewMachine(p, machine.CM5)
+	if err != nil {
+		return err
+	}
+	res, err := cc.Run(m, im, cc.Options{Conn: image.Conn8, Mode: seq.Binary})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Per-processor cost split, connected components of the 512x512 dual\n")
+	fmt.Fprintf(w, "spiral (CM-5, p=%d, total %s)\n\n", p, Secs(res.Report.SimTime))
+	headers := []string{"proc", "computation", "communication", "wait", "busy share"}
+	var rows [][]string
+	for rank, pm := range res.Report.Procs {
+		rows = append(rows, []string{
+			fmt.Sprint(rank),
+			Secs(pm.Comp), Secs(pm.Comm), Secs(pm.Wait),
+			fmt.Sprintf("%.1f%%", 100*(pm.Comp+pm.Comm)/pm.Now),
+		})
+	}
+	WriteTable(w, headers, rows)
+	return nil
+}
+
+// Efficiency regenerates the paper's headline efficiency claim (Section 1:
+// "an algorithm with an efficiency near one runs approximately p times
+// faster on p processors than the same algorithm on a single processor"):
+// speedup and efficiency of both primitives versus the p = 1 run on the
+// same machine profile.
+func Efficiency(w io.Writer) error {
+	fmt.Fprintln(w, "Efficiency on the CM-5 profile: T(1) / (p * T(p))")
+	fmt.Fprintln(w)
+	ps := []int{1, 4, 16, 64}
+
+	fmt.Fprintln(w, "Histogramming, 1024x1024, k=256:")
+	im := image.RandomGrey(1024, 256, 11)
+	var t1 float64
+	headers := []string{"p", "time", "speedup", "efficiency"}
+	var rows [][]string
+	for _, p := range ps {
+		rep, err := histOn(machine.CM5, p, im, 256)
+		if err != nil {
+			return err
+		}
+		if p == 1 {
+			t1 = rep.SimTime
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(p), Secs(rep.SimTime),
+			fmt.Sprintf("%.2f", t1/rep.SimTime),
+			fmt.Sprintf("%.2f", t1/rep.SimTime/float64(p)),
+		})
+	}
+	WriteTable(w, headers, rows)
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Connected components, 512x512 concentric circles:")
+	cim := image.Generate(image.ConcentricCircles, 512)
+	rows = nil
+	for _, p := range ps {
+		rep, err := CCRun(machine.CM5, p, cim, cc.Options{Conn: image.Conn8, Mode: seq.Binary})
+		if err != nil {
+			return err
+		}
+		if p == 1 {
+			t1 = rep.SimTime
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(p), Secs(rep.SimTime),
+			fmt.Sprintf("%.2f", t1/rep.SimTime),
+			fmt.Sprintf("%.2f", t1/rep.SimTime/float64(p)),
+		})
+	}
+	WriteTable(w, headers, rows)
+	return nil
+}
+
+// Baseline compares the paper's log p merge algorithm against the
+// iterative label-diffusion baseline on every catalog test image (CM-5,
+// p=64): simulated times and round counts. The spiral-shaped images show
+// why bounded-round merging matters.
+func Baseline(w io.Writer) error {
+	fmt.Fprintln(w, "Baseline comparison: paper's log p merging vs iterative label diffusion")
+	fmt.Fprintln(w, "(CM-5, p=64, 512x512 binary test images, 8-connectivity)")
+	fmt.Fprintln(w, "The diffusion baseline keeps tile-component indirection and so skips the")
+	fmt.Fprintln(w, "final interior relabel; even with that advantage its data-dependent round")
+	fmt.Fprintln(w, "count loses on adversarial images, and the gap widens with p (below).")
+	fmt.Fprintln(w)
+	headers := []string{"Test image", "merge time", "merge rounds", "diffusion time", "diffusion rounds", "speedup"}
+	var rows [][]string
+	for _, id := range image.AllPatterns() {
+		im := image.Generate(id, 512)
+		m, err := bdm.NewMachine(64, machine.CM5)
+		if err != nil {
+			return err
+		}
+		merge, err := cc.Run(m, im, cc.Options{Conn: image.Conn8, Mode: seq.Binary})
+		if err != nil {
+			return err
+		}
+		m2, err := bdm.NewMachine(64, machine.CM5)
+		if err != nil {
+			return err
+		}
+		diff, err := cc.RunPropagation(m2, im, cc.Options{Conn: image.Conn8, Mode: seq.Binary})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			id.String(),
+			Secs(merge.Report.SimTime), fmt.Sprint(merge.Phases),
+			Secs(diff.Report.SimTime), fmt.Sprint(diff.Phases),
+			fmt.Sprintf("%.2fx", diff.Report.SimTime/merge.Report.SimTime),
+		})
+	}
+	WriteTable(w, headers, rows)
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Scaling with p on the dual spiral (the \"difficult\" image):")
+	fmt.Fprintln(w)
+	spiral := image.Generate(image.DualSpiral, 512)
+	headers = []string{"p", "merge time", "merge rounds", "diffusion time", "diffusion rounds", "speedup"}
+	rows = nil
+	for _, p := range []int{16, 64, 256} {
+		m, err := bdm.NewMachine(p, machine.CM5)
+		if err != nil {
+			return err
+		}
+		merge, err := cc.Run(m, spiral, cc.Options{Conn: image.Conn8, Mode: seq.Binary})
+		if err != nil {
+			return err
+		}
+		m2, err := bdm.NewMachine(p, machine.CM5)
+		if err != nil {
+			return err
+		}
+		diff, err := cc.RunPropagation(m2, spiral, cc.Options{Conn: image.Conn8, Mode: seq.Binary})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(p),
+			Secs(merge.Report.SimTime), fmt.Sprint(merge.Phases),
+			Secs(diff.Report.SimTime), fmt.Sprint(diff.Phases),
+			fmt.Sprintf("%.2fx", diff.Report.SimTime/merge.Report.SimTime),
+		})
+	}
+	WriteTable(w, headers, rows)
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "PRAM-style pointer jumping (Shiloach-Vishkin family) on the same input")
+	fmt.Fprintln(w, "(256x256 dual spiral; per-iteration data-dependent remote reads dominate):")
+	fmt.Fprintln(w)
+	spiral256 := image.Generate(image.DualSpiral, 256)
+	headers = []string{"p", "algorithm", "sim time", "rounds", "words moved"}
+	rows = nil
+	for _, p := range []int{16, 64} {
+		m, err := bdm.NewMachine(p, machine.CM5)
+		if err != nil {
+			return err
+		}
+		merge, err := cc.Run(m, spiral256, cc.Options{Conn: image.Conn8, Mode: seq.Binary})
+		if err != nil {
+			return err
+		}
+		m2, err := bdm.NewMachine(p, machine.CM5)
+		if err != nil {
+			return err
+		}
+		sv, err := cc.RunShiloachVishkin(m2, spiral256, cc.Options{Conn: image.Conn8, Mode: seq.Binary})
+		if err != nil {
+			return err
+		}
+		rows = append(rows,
+			[]string{fmt.Sprint(p), "merge (this paper)", Secs(merge.Report.SimTime),
+				fmt.Sprint(merge.Phases), fmt.Sprint(merge.Report.Words)},
+			[]string{fmt.Sprint(p), "pointer jumping", Secs(sv.Report.SimTime),
+				fmt.Sprint(sv.Phases), fmt.Sprint(sv.Report.Words)})
+	}
+	WriteTable(w, headers, rows)
+	return nil
+}
+
+// FigCCDetail regenerates one of the per-machine connected components
+// detail figures (Figures 15-17, 19, 21): time per catalog test image for
+// the given sizes, machine and processor count.
+func FigCCDetail(w io.Writer, spec bdm.CostParams, p int, ns []int) error {
+	fmt.Fprintf(w, "Connected components on the %s (p=%d): per test image\n\n", spec.Name, p)
+	headers := []string{"Test image"}
+	for _, n := range ns {
+		headers = append(headers, fmt.Sprintf("%dx%d", n, n))
+	}
+	var rows [][]string
+	for _, id := range image.AllPatterns() {
+		row := []string{id.String()}
+		for _, n := range ns {
+			im := image.Generate(id, n)
+			rep, err := CCRun(spec, p, im, cc.Options{Conn: image.Conn8, Mode: seq.Binary})
+			if err != nil {
+				return err
+			}
+			row = append(row, Secs(rep.SimTime))
+		}
+		rows = append(rows, row)
+	}
+	WriteTable(w, headers, rows)
+	return nil
+}

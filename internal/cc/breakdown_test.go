@@ -1,0 +1,86 @@
+package cc
+
+import (
+	"math"
+	"testing"
+
+	"parimg/internal/image"
+)
+
+func TestStageBreakdownSumsToSimTime(t *testing.T) {
+	im := image.Generate(image.DualSpiral, 64)
+	for _, p := range []int{4, 16, 64} {
+		m := mustMachine(t, p)
+		res, err := Run(m, im, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		logp := 0
+		for 1<<logp < p {
+			logp++
+		}
+		if len(res.Stages.Merge) != logp {
+			t.Fatalf("p=%d: %d merge stages, want %d", p, len(res.Stages.Merge), logp)
+		}
+		sum := res.Stages.Init + res.Stages.Final
+		for _, ph := range res.Stages.Merge {
+			if ph <= 0 {
+				t.Errorf("p=%d: non-positive merge stage time %g", p, ph)
+			}
+			sum += ph
+		}
+		if res.Stages.Init <= 0 {
+			t.Errorf("p=%d: non-positive init time", p)
+		}
+		if math.Abs(sum-res.Report.SimTime) > 1e-9*math.Max(1, res.Report.SimTime) {
+			t.Errorf("p=%d: stages sum to %g, SimTime %g", p, sum, res.Report.SimTime)
+		}
+	}
+}
+
+func TestStageBreakdownInitDominatesAtSmallP(t *testing.T) {
+	// At p=4 the per-tile sequential labeling is by far the largest
+	// stage (the paper's Tcomp = O(n^2/p) with merges touching only
+	// borders).
+	im := image.Generate(image.ConcentricCircles, 128)
+	m := mustMachine(t, 4)
+	res, err := Run(m, im, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mergeTotal float64
+	for _, ph := range res.Stages.Merge {
+		mergeTotal += ph
+	}
+	if res.Stages.Init < mergeTotal {
+		t.Errorf("init %g should dominate merges %g at p=4", res.Stages.Init, mergeTotal)
+	}
+}
+
+func TestStageBreakdownFullRelabelInflatesMerges(t *testing.T) {
+	im := image.Generate(image.DualSpiral, 128)
+	m1 := mustMachine(t, 16)
+	limited, err := Run(m1, im, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := mustMachine(t, 16)
+	full, err := Run(m2, im, Options{FullRelabel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lm, fm float64
+	for _, ph := range limited.Stages.Merge {
+		lm += ph
+	}
+	for _, ph := range full.Stages.Merge {
+		fm += ph
+	}
+	if fm <= lm {
+		t.Errorf("full relabel merge time %g not above limited updating %g", fm, lm)
+	}
+	if full.Stages.Final >= limited.Stages.Final {
+		t.Errorf("full relabel should have a cheaper final stage: %g vs %g",
+			full.Stages.Final, limited.Stages.Final)
+	}
+}

@@ -1,0 +1,198 @@
+package cc
+
+import (
+	"fmt"
+	"sort"
+
+	"parimg/internal/bdm"
+	"parimg/internal/image"
+)
+
+// CensusResult is the outcome of a parallel component census.
+type CensusResult struct {
+	// Stats holds one entry per component, sorted by decreasing size
+	// (ties by increasing label) — identical to Labels.Census.
+	Stats []image.ComponentStat
+	// Report carries the modeled execution costs.
+	Report bdm.Report
+}
+
+// censusRec is the mergeable per-tile partial statistic of one component.
+// Centroid sums are kept as integer accumulators so merging is exact.
+type censusRec struct {
+	label                          uint32
+	size                           int64
+	minRow, minCol, maxRow, maxCol int32
+	sumRow, sumCol                 int64
+	grey                           uint32
+}
+
+func (r *censusRec) merge(o censusRec) {
+	r.size += o.size
+	if o.minRow < r.minRow {
+		r.minRow = o.minRow
+	}
+	if o.minCol < r.minCol {
+		r.minCol = o.minCol
+	}
+	if o.maxRow > r.maxRow {
+		r.maxRow = o.maxRow
+	}
+	if o.maxCol > r.maxCol {
+		r.maxCol = o.maxCol
+	}
+	r.sumRow += o.sumRow
+	r.sumCol += o.sumCol
+	// The representative grey is the minimum over the component, which
+	// is order-independent and therefore mergeable.
+	if o.grey < r.grey {
+		r.grey = o.grey
+	}
+}
+
+// censusRecWords is the number of 32-bit words a censusRec occupies on the
+// wire (label, size, 4 bbox fields, 2x2 centroid words, grey ~ 10 words).
+const censusRecWords = 10
+
+// Census computes the per-component statistics of a labeling in parallel
+// (the measurement step of the recognition task the paper cites): every
+// processor scans its q x r tile of the labeled image, building partial
+// records for the components present there; processor 0 then prefetches
+// all partial record lists and merges them by label. Component statistics
+// (size, bounding box, centroid sums, representative grey) are all
+// mergeable, so the result is exactly Labels.Census run on the host.
+//
+// Complexities: Tcomp = O(n^2/p + C log C) where C is the total number of
+// (tile, component) partials, and Tcomm <= tau + O(C) words to processor 0.
+func Census(m *bdm.Machine, im *image.Image, labels *image.Labels) (*CensusResult, error) {
+	if im.N != labels.N {
+		return nil, fmt.Errorf("cc: census size mismatch: image %d, labels %d", im.N, labels.N)
+	}
+	lay, err := image.NewLayout(im.N, m.P())
+	if err != nil {
+		return nil, fmt.Errorf("cc: %w", err)
+	}
+
+	p := m.P()
+	tilePix := bdm.NewSpread[uint32](m, lay.Q*lay.R)
+	tileLab := bdm.NewSpread[uint32](m, lay.Q*lay.R)
+	for rank := 0; rank < p; rank++ {
+		lay.Scatter(im, rank, tilePix.Row(rank))
+		scatterLabels(lay, labels, rank, tileLab.Row(rank))
+	}
+
+	partials := make([][]censusRec, p) // written by each proc, read by P0
+	counts := bdm.NewSpread[uint32](m, 1)
+	var merged []censusRec
+
+	m.Reset()
+	report, err := m.Run(func(pr *bdm.Proc) {
+		rank := pr.Rank()
+		q, r := lay.Q, lay.R
+		pix := tilePix.Local(pr)
+		lab := tileLab.Local(pr)
+		r0, c0 := lay.TileOrigin(rank)
+
+		idx := make(map[uint32]int)
+		var recs []censusRec
+		for i := 0; i < q; i++ {
+			for j := 0; j < r; j++ {
+				l := lab[i*r+j]
+				if l == 0 {
+					continue
+				}
+				k, ok := idx[l]
+				if !ok {
+					k = len(recs)
+					idx[l] = k
+					recs = append(recs, censusRec{
+						label:  l,
+						minRow: int32(r0 + i), minCol: int32(c0 + j),
+						maxRow: int32(r0 + i), maxCol: int32(c0 + j),
+						grey: pix[i*r+j],
+					})
+				}
+				rec := &recs[k]
+				rec.size++
+				gi, gj := int32(r0+i), int32(c0+j)
+				if gi > rec.maxRow {
+					rec.maxRow = gi
+				}
+				if gj < rec.minCol {
+					rec.minCol = gj
+				}
+				if gj > rec.maxCol {
+					rec.maxCol = gj
+				}
+				rec.sumRow += int64(gi)
+				rec.sumCol += int64(gj)
+				if pix[i*r+j] < rec.grey {
+					rec.grey = pix[i*r+j]
+				}
+			}
+		}
+		partials[rank] = recs
+		counts.Local(pr)[0] = uint32(len(recs))
+		pr.Work(4 * q * r)
+		pr.Barrier()
+
+		// Processor 0 prefetches every partial list and merges by
+		// label. The records live in host memory; the transfer is
+		// charged explicitly at censusRecWords per record.
+		if rank == 0 {
+			total := make(map[uint32]int)
+			var out []censusRec
+			for src := 0; src < p; src++ {
+				cnt := int(bdm.GetScalar(pr, counts, src, 0))
+				if src != 0 {
+					// Charge the record payload transfer.
+					pr.ChargeTransfer(src, cnt*censusRecWords)
+				}
+				for _, rec := range partials[src][:cnt] {
+					if k, ok := total[rec.label]; ok {
+						out[k].merge(rec)
+					} else {
+						total[rec.label] = len(out)
+						out = append(out, rec)
+					}
+				}
+			}
+			pr.Sync()
+			pr.Work(censusRecWords * len(out))
+			sort.Slice(out, func(a, b int) bool {
+				if out[a].size != out[b].size {
+					return out[a].size > out[b].size
+				}
+				return out[a].label < out[b].label
+			})
+			pr.Work(opsPerSortItem * len(out))
+			merged = out
+		}
+		pr.Barrier()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	stats := make([]image.ComponentStat, len(merged))
+	for i, rec := range merged {
+		stats[i] = image.ComponentStat{
+			Label:  rec.label,
+			Size:   int(rec.size),
+			MinRow: int(rec.minRow), MinCol: int(rec.minCol),
+			MaxRow: int(rec.maxRow), MaxCol: int(rec.maxCol),
+			CentroidRow: float64(rec.sumRow) / float64(rec.size),
+			CentroidCol: float64(rec.sumCol) / float64(rec.size),
+			Grey:        rec.grey,
+		}
+	}
+	return &CensusResult{Stats: stats, Report: report}, nil
+}
+
+// scatterLabels copies rank's tile of a labeling into dst, row-major.
+func scatterLabels(lay image.Layout, l *image.Labels, rank int, dst []uint32) {
+	r0, c0 := lay.TileOrigin(rank)
+	for i := 0; i < lay.Q; i++ {
+		copy(dst[i*lay.R:(i+1)*lay.R], l.Lab[(r0+i)*l.N+c0:(r0+i)*l.N+c0+lay.R])
+	}
+}

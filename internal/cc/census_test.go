@@ -1,0 +1,85 @@
+package cc
+
+import (
+	"testing"
+
+	"parimg/internal/image"
+	"parimg/internal/seq"
+)
+
+func TestParallelCensusMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		im   *image.Image
+		mode seq.Mode
+	}{
+		{"blobs", image.RandomBlobs(64, 10, 3), seq.Binary},
+		{"grey", image.RandomGrey(64, 8, 4), seq.Grey},
+		{"darpa", image.DARPAScene(128, 256, 5), seq.Grey},
+		{"spiral", image.Generate(image.DualSpiral, 64), seq.Binary},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			labels := seq.LabelBFS(tc.im, image.Conn8, tc.mode)
+			want := labels.Census(tc.im)
+
+			m := mustMachine(t, 16)
+			got, err := Census(m, tc.im, labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Stats) != len(want) {
+				t.Fatalf("%d components, want %d", len(got.Stats), len(want))
+			}
+			for i := range want {
+				if got.Stats[i] != want[i] {
+					t.Fatalf("stat %d:\n got %+v\nwant %+v", i, got.Stats[i], want[i])
+				}
+			}
+			if got.Report.SimTime <= 0 {
+				t.Error("no simulated time")
+			}
+		})
+	}
+}
+
+func TestParallelCensusAcrossP(t *testing.T) {
+	im := image.RandomBinary(64, 0.55, 9)
+	labels := seq.LabelBFS(im, image.Conn8, seq.Binary)
+	want := labels.Census(im)
+	for _, p := range []int{1, 4, 64} {
+		m := mustMachine(t, p)
+		got, err := Census(m, im, labels)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if len(got.Stats) != len(want) {
+			t.Fatalf("p=%d: %d components, want %d", p, len(got.Stats), len(want))
+		}
+		for i := range want {
+			if got.Stats[i] != want[i] {
+				t.Fatalf("p=%d: stat %d differs", p, i)
+			}
+		}
+	}
+}
+
+func TestParallelCensusEmpty(t *testing.T) {
+	im := image.New(32)
+	labels := image.NewLabels(32)
+	m := mustMachine(t, 4)
+	got, err := Census(m, im, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Stats) != 0 {
+		t.Errorf("empty image census has %d entries", len(got.Stats))
+	}
+}
+
+func TestParallelCensusValidation(t *testing.T) {
+	m := mustMachine(t, 4)
+	if _, err := Census(m, image.New(32), image.NewLabels(16)); err == nil {
+		t.Error("size mismatch: want error")
+	}
+}

@@ -1,0 +1,161 @@
+package cc
+
+import (
+	"fmt"
+
+	"parimg/internal/image"
+)
+
+// Orientation of one merge phase.
+type Orientation int
+
+const (
+	// Horizontal merges combine two subgrids side by side along a
+	// vertical border (the paper's odd phases).
+	Horizontal Orientation = iota
+	// Vertical merges combine two subgrids stacked along a horizontal
+	// border (the paper's even phases).
+	Vertical
+)
+
+func (o Orientation) String() string {
+	if o == Horizontal {
+		return "horizontal"
+	}
+	return "vertical"
+}
+
+// Phase describes the group structure of merge iteration t (1-based).
+// After the phase, merged subgrids measure GroupH x GroupW processors.
+type Phase struct {
+	T      int
+	Orient Orientation
+	// GroupH, GroupW are the processor-grid dimensions of each merged
+	// group at the END of this phase.
+	GroupH, GroupW int
+}
+
+// Phases returns the paper's merge schedule for a v x w logical processor
+// grid: log p = log v + log w iterations, alternating between horizontal
+// merges of vertical borders and vertical merges of horizontal borders,
+// starting horizontally, with the wider dimension absorbing the surplus
+// iterations once the shorter one is exhausted (Section 5.2).
+func Phases(v, w int) []Phase {
+	logv := log2(v)
+	logw := log2(w)
+	out := make([]Phase, 0, logv+logw)
+	hDone, vDone := 0, 0
+	for t := 1; t <= logv+logw; t++ {
+		horizontal := false
+		switch {
+		case hDone == logw:
+			horizontal = false
+		case vDone == logv:
+			horizontal = true
+		default:
+			horizontal = t%2 == 1
+		}
+		if horizontal {
+			hDone++
+			out = append(out, Phase{T: t, Orient: Horizontal, GroupH: 1 << vDone, GroupW: 1 << hDone})
+		} else {
+			vDone++
+			out = append(out, Phase{T: t, Orient: Vertical, GroupH: 1 << vDone, GroupW: 1 << hDone})
+		}
+	}
+	return out
+}
+
+func log2(x int) int {
+	d := 0
+	for 1<<d < x {
+		d++
+	}
+	if 1<<d != x {
+		panic(fmt.Sprintf("cc: %d is not a power of two", x))
+	}
+	return d
+}
+
+// Group is the merge group a processor belongs to in one phase, together
+// with the distinguished roles.
+//
+// The group manager is the processor adjacent to the border being merged at
+// the border's low end on the first side; the shadow manager sits directly
+// across the border (Section 5.3). The manager's logical-grid coordinates
+// therefore end in a 0 followed by ones in the merge direction and in
+// zeroes in the other direction, which is the intent of the paper's
+// bit-pattern description. (The extended abstract's literal patterns select
+// no manager in half the groups of later phases; see DESIGN.md.)
+type Group struct {
+	Phase Phase
+	// R0, C0 are the logical-grid coordinates of the group's top-left
+	// processor; the group spans GroupH x GroupW processors.
+	R0, C0 int
+	// Manager and Shadow are processor ranks.
+	Manager, Shadow int
+	// Side is the number of pixels on each side of the merged border:
+	// GroupH*q for a horizontal merge, GroupW*r for a vertical merge.
+	Side int
+	// F is the group size in processors (GroupH*GroupW).
+	F int
+}
+
+// GroupOf computes the merge group of processor rank in the given phase.
+func GroupOf(lay image.Layout, ph Phase, rank int) Group {
+	gi, gj := lay.GridPos(rank)
+	r0 := gi &^ (ph.GroupH - 1)
+	c0 := gj &^ (ph.GroupW - 1)
+	g := Group{Phase: ph, R0: r0, C0: c0, F: ph.GroupH * ph.GroupW}
+	if ph.Orient == Horizontal {
+		cb := c0 + ph.GroupW/2 // first grid column right of the border
+		g.Manager = lay.Rank(r0, cb-1)
+		g.Shadow = lay.Rank(r0, cb)
+		g.Side = ph.GroupH * lay.Q
+	} else {
+		rb := r0 + ph.GroupH/2 // first grid row below the border
+		g.Manager = lay.Rank(rb-1, c0)
+		g.Shadow = lay.Rank(rb, c0)
+		g.Side = ph.GroupW * lay.R
+	}
+	return g
+}
+
+// GroupIndex returns rank's row-major index within its group, used by the
+// transpose-based change distribution.
+func (g Group) GroupIndex(lay image.Layout, rank int) int {
+	gi, gj := lay.GridPos(rank)
+	return (gi-g.R0)*g.Phase.GroupW + (gj - g.C0)
+}
+
+// MemberAt returns the rank of the group member with the given row-major
+// group index.
+func (g Group) MemberAt(lay image.Layout, idx int) int {
+	return lay.Rank(g.R0+idx/g.Phase.GroupW, g.C0+idx%g.Phase.GroupW)
+}
+
+// borderSources returns, for the manager side (left/up when first is true)
+// or the shadow side, the ranks owning successive stretches of the merged
+// border, in border order, together with which tile edge to read.
+func (g Group) borderSources(lay image.Layout, first bool) []int {
+	ph := g.Phase
+	var ranks []int
+	if ph.Orient == Horizontal {
+		col := g.C0 + ph.GroupW/2 - 1
+		if !first {
+			col = g.C0 + ph.GroupW/2
+		}
+		for r := g.R0; r < g.R0+ph.GroupH; r++ {
+			ranks = append(ranks, lay.Rank(r, col))
+		}
+	} else {
+		row := g.R0 + ph.GroupH/2 - 1
+		if !first {
+			row = g.R0 + ph.GroupH/2
+		}
+		for c := g.C0; c < g.C0+ph.GroupW; c++ {
+			ranks = append(ranks, lay.Rank(row, c))
+		}
+	}
+	return ranks
+}

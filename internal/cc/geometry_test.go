@@ -1,0 +1,306 @@
+package cc
+
+import (
+	"fmt"
+	"testing"
+
+	"parimg/internal/image"
+)
+
+func TestPhasesSquareGrid(t *testing.T) {
+	// 4x4 grid (p=16): h,v,h,v.
+	ph := Phases(4, 4)
+	if len(ph) != 4 {
+		t.Fatalf("p=16: %d phases, want 4", len(ph))
+	}
+	wantOrient := []Orientation{Horizontal, Vertical, Horizontal, Vertical}
+	wantH := []int{1, 2, 2, 4}
+	wantW := []int{2, 2, 4, 4}
+	for i, p := range ph {
+		if p.T != i+1 {
+			t.Errorf("phase %d: T=%d", i, p.T)
+		}
+		if p.Orient != wantOrient[i] {
+			t.Errorf("phase %d: orient %v, want %v", i, p.Orient, wantOrient[i])
+		}
+		if p.GroupH != wantH[i] || p.GroupW != wantW[i] {
+			t.Errorf("phase %d: group %dx%d, want %dx%d", i, p.GroupH, p.GroupW, wantH[i], wantW[i])
+		}
+	}
+}
+
+func TestPhasesRectGrid(t *testing.T) {
+	// 4x8 grid (p=32, the Figure 4 layout): h,v,h,v,h.
+	ph := Phases(4, 8)
+	if len(ph) != 5 {
+		t.Fatalf("p=32: %d phases, want 5", len(ph))
+	}
+	want := []Orientation{Horizontal, Vertical, Horizontal, Vertical, Horizontal}
+	for i, p := range ph {
+		if p.Orient != want[i] {
+			t.Errorf("phase %d: %v, want %v", i, p.Orient, want[i])
+		}
+	}
+	last := ph[4]
+	if last.GroupH != 4 || last.GroupW != 8 {
+		t.Errorf("final group %dx%d, want 4x8", last.GroupH, last.GroupW)
+	}
+}
+
+func TestPhasesDegenerateGrids(t *testing.T) {
+	if got := Phases(1, 1); len(got) != 0 {
+		t.Errorf("1x1 grid: %d phases, want 0", len(got))
+	}
+	ph := Phases(1, 2)
+	if len(ph) != 1 || ph[0].Orient != Horizontal {
+		t.Errorf("1x2 grid: %+v", ph)
+	}
+	// 1xW grids are all horizontal merges.
+	for _, p := range Phases(1, 8) {
+		if p.Orient != Horizontal {
+			t.Errorf("1x8 grid: phase %d is %v", p.T, p.Orient)
+		}
+	}
+}
+
+func TestPhasesGroupsDouble(t *testing.T) {
+	for _, pp := range []int{2, 4, 8, 16, 32, 64, 128} {
+		v, w, err := image.GridShape(pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ph := Phases(v, w)
+		area := 1
+		for i, p := range ph {
+			got := p.GroupH * p.GroupW
+			if got != area*2 {
+				t.Errorf("p=%d phase %d: group area %d, want %d", pp, i, got, area*2)
+			}
+			area = got
+		}
+		if area != pp {
+			t.Errorf("p=%d: final group area %d", pp, area)
+		}
+	}
+}
+
+func TestGroupOfFigure4Example(t *testing.T) {
+	// The paper's Figure 4: a 512x512 image on 32 processors (4x8 grid,
+	// 128x64 tiles), merge phase t=2 (vertical). Group managers sit at
+	// even row, even column positions of the logical grid, with the
+	// shadow directly below (across the border).
+	lay, err := image.NewLayout(512, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := Phases(lay.V, lay.W)[1] // t=2
+	if ph.Orient != Vertical {
+		t.Fatalf("t=2 should be vertical, got %v", ph.Orient)
+	}
+	for rank := 0; rank < 32; rank++ {
+		grp := GroupOf(lay, ph, rank)
+		mi, mj := lay.GridPos(grp.Manager)
+		if mi%2 != 0 || mj%2 != 0 {
+			t.Errorf("rank %d: manager at (%d,%d), want even/even", rank, mi, mj)
+		}
+		si, sj := lay.GridPos(grp.Shadow)
+		if si != mi+1 || sj != mj {
+			t.Errorf("rank %d: shadow at (%d,%d), want directly below manager (%d,%d)",
+				rank, si, sj, mi, mj)
+		}
+		if grp.Side != 2*lay.R { // GroupW=2 tiles wide, r=64 each
+			t.Errorf("rank %d: side %d, want %d", rank, grp.Side, 2*lay.R)
+		}
+		if grp.F != 4 {
+			t.Errorf("rank %d: group size %d, want 4", rank, grp.F)
+		}
+	}
+}
+
+func TestGroupPartitionsProcessors(t *testing.T) {
+	// In every phase, the groups partition the processor set, all
+	// members of a group agree on the group, and manager and shadow are
+	// distinct members of it.
+	for _, pp := range []int{4, 16, 32, 64} {
+		lay, err := image.NewLayout(256, pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ph := range Phases(lay.V, lay.W) {
+			seen := map[string][]int{}
+			for rank := 0; rank < pp; rank++ {
+				grp := GroupOf(lay, ph, rank)
+				key := fmt.Sprintf("%d,%d", grp.R0, grp.C0)
+				seen[key] = append(seen[key], rank)
+				ref := GroupOf(lay, ph, grp.Manager)
+				if ref != grp {
+					t.Fatalf("p=%d t=%d rank=%d: manager disagrees about the group", pp, ph.T, rank)
+				}
+				if grp.Manager == grp.Shadow {
+					t.Fatalf("p=%d t=%d: manager == shadow", pp, ph.T)
+				}
+				if grp.GroupIndex(lay, rank) < 0 || grp.GroupIndex(lay, rank) >= grp.F {
+					t.Fatalf("p=%d t=%d rank=%d: group index out of range", pp, ph.T, rank)
+				}
+				if grp.MemberAt(lay, grp.GroupIndex(lay, rank)) != rank {
+					t.Fatalf("p=%d t=%d rank=%d: MemberAt/GroupIndex not inverse", pp, ph.T, rank)
+				}
+			}
+			for key, members := range seen {
+				if len(members) != ph.GroupH*ph.GroupW {
+					t.Errorf("p=%d t=%d group %s has %d members, want %d",
+						pp, ph.T, key, len(members), ph.GroupH*ph.GroupW)
+				}
+			}
+		}
+	}
+}
+
+func TestBorderSourcesAdjacent(t *testing.T) {
+	// The two sides of each group's border must be owned by grid-
+	// adjacent processors, pairwise across the border, and belong to
+	// the group.
+	lay, err := image.NewLayout(256, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range Phases(lay.V, lay.W) {
+		done := map[int]bool{}
+		for rank := 0; rank < 32; rank++ {
+			grp := GroupOf(lay, ph, rank)
+			if done[grp.Manager] {
+				continue
+			}
+			done[grp.Manager] = true
+			left := grp.borderSources(lay, true)
+			right := grp.borderSources(lay, false)
+			if len(left) != len(right) {
+				t.Fatalf("t=%d: side counts differ", ph.T)
+			}
+			for i := range left {
+				li, lj := lay.GridPos(left[i])
+				ri, rj := lay.GridPos(right[i])
+				if ph.Orient == Horizontal {
+					if ri != li || rj != lj+1 {
+						t.Errorf("t=%d: horizontal border pair (%d,%d)-(%d,%d) not adjacent",
+							ph.T, li, lj, ri, rj)
+					}
+				} else {
+					if rj != lj || ri != li+1 {
+						t.Errorf("t=%d: vertical border pair (%d,%d)-(%d,%d) not adjacent",
+							ph.T, li, lj, ri, rj)
+					}
+				}
+				for _, r := range []int{left[i], right[i]} {
+					g2 := GroupOf(lay, ph, r)
+					if g2.Manager != grp.Manager {
+						t.Errorf("t=%d: border source %d not in group", ph.T, r)
+					}
+				}
+			}
+			if left[0] != grp.Manager {
+				t.Errorf("t=%d: manager %d is not the first left source %d", ph.T, grp.Manager, left[0])
+			}
+			if right[0] != grp.Shadow {
+				t.Errorf("t=%d: shadow %d is not the first right source %d", ph.T, grp.Shadow, right[0])
+			}
+		}
+	}
+}
+
+func TestForEachBorderOffset(t *testing.T) {
+	cases := []struct {
+		q, r, want int
+	}{
+		{1, 1, 1}, {1, 5, 5}, {5, 1, 5}, {2, 2, 4}, {3, 3, 8}, {4, 6, 16},
+	}
+	for _, c := range cases {
+		seen := map[int]int{}
+		count := 0
+		forEachBorderOffset(c.q, c.r, func(o int) {
+			seen[o]++
+			count++
+		})
+		if count != c.want {
+			t.Errorf("q=%d r=%d: %d border offsets, want %d", c.q, c.r, count, c.want)
+		}
+		for o, k := range seen {
+			if k != 1 {
+				t.Errorf("q=%d r=%d: offset %d visited %d times", c.q, c.r, o, k)
+			}
+			i, j := o/c.r, o%c.r
+			if i != 0 && i != c.q-1 && j != 0 && j != c.r-1 {
+				t.Errorf("q=%d r=%d: offset %d (%d,%d) is interior", c.q, c.r, o, i, j)
+			}
+		}
+	}
+}
+
+func TestBlockRange(t *testing.T) {
+	cases := []struct {
+		idx, bsz, c, lo, hi int
+	}{
+		{0, 3, 10, 0, 3},
+		{3, 3, 10, 9, 10},
+		{4, 3, 10, 10, 10}, // past the end: empty
+		{0, 1, 0, 0, 0},
+		{2, 5, 7, 7, 7},
+	}
+	for _, c := range cases {
+		lo, hi := blockRange(c.idx, c.bsz, c.c)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("blockRange(%d,%d,%d) = (%d,%d), want (%d,%d)",
+				c.idx, c.bsz, c.c, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestSearchChange(t *testing.T) {
+	alphas := []uint32{3, 7, 20}
+	betas := []uint32{1, 2, 5}
+	for _, tc := range []struct {
+		key  uint32
+		want uint32
+		ok   bool
+	}{
+		{3, 1, true}, {7, 2, true}, {20, 5, true},
+		{1, 0, false}, {5, 0, false}, {21, 0, false},
+	} {
+		got, ok := searchChange(alphas, betas, tc.key)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("searchChange(%d) = (%d,%v), want (%d,%v)", tc.key, got, ok, tc.want, tc.ok)
+		}
+	}
+	if _, ok := searchChange(nil, nil, 5); ok {
+		t.Error("empty change list should miss")
+	}
+}
+
+func TestSearchOpsMonotone(t *testing.T) {
+	prev := 0
+	for _, c := range []int{0, 1, 2, 10, 100, 10000} {
+		got := searchOps(c)
+		if got < prev {
+			t.Errorf("searchOps(%d) = %d decreased", c, got)
+		}
+		prev = got
+	}
+}
+
+func TestLog2PanicsOnNonPower(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for non-power of two")
+		}
+	}()
+	log2(12)
+}
+
+func TestOrientationAndDistStrings(t *testing.T) {
+	if Horizontal.String() != "horizontal" || Vertical.String() != "vertical" {
+		t.Error("orientation strings")
+	}
+	if DistTranspose.String() != "transpose" || DistDirect.String() != "direct" {
+		t.Error("dist strings")
+	}
+}

@@ -1,0 +1,143 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parimg/internal/image"
+	"parimg/internal/seq"
+)
+
+// TestComponentCountInvariantUnderSymmetries: rotations and reflections
+// preserve adjacency, so the parallel labeler must find the same number of
+// components (and the same multiset of component sizes) on the transformed
+// image.
+func TestComponentCountInvariantUnderSymmetries(t *testing.T) {
+	f := func(seed uint64, connSel uint8) bool {
+		conn := image.Conn8
+		if connSel%2 == 0 {
+			conn = image.Conn4
+		}
+		im := image.RandomBinary(32, 0.55, seed)
+		base := run(t, im, conn)
+		for _, tr := range []func(*image.Image) *image.Image{
+			(*image.Image).Rotate90,
+			(*image.Image).FlipH,
+			(*image.Image).FlipV,
+			(*image.Image).Transpose,
+		} {
+			got := run(t, tr(im), conn)
+			if !sameSizeMultiset(base, got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func run(t *testing.T, im *image.Image, conn image.Connectivity) *image.Labels {
+	t.Helper()
+	m := mustMachine(t, 16)
+	res, err := Run(m, im, Options{Conn: conn, Mode: seq.Binary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Labels
+}
+
+func sameSizeMultiset(a, b *image.Labels) bool {
+	sa, sb := a.ComponentSizes(), b.ComponentSizes()
+	if len(sa) != len(sb) {
+		return false
+	}
+	counts := map[int]int{}
+	for _, s := range sa {
+		counts[s]++
+	}
+	for _, s := range sb {
+		counts[s]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPatternComponentCounts pins the analytically known component counts
+// of the catalog at a fixed size, as a regression anchor for both the
+// generators and the labeler.
+func TestPatternComponentCounts(t *testing.T) {
+	n := 128
+	thick := image.PatternThickness(n) // 8: the augmented feature size
+	// Horizontal bars: stripes of height 8 alternating from row 0:
+	// foreground stripes at rows 0-7, 16-23, ... -> n/(2*thick) = 8.
+	wantBars := n / (2 * thick)
+	cases := []struct {
+		id   image.PatternID
+		conn image.Connectivity
+		want int
+	}{
+		{image.HorizontalBars, image.Conn8, wantBars},
+		{image.VerticalBars, image.Conn8, wantBars},
+		{image.Cross, image.Conn8, 1},
+		{image.FilledDisc, image.Conn8, 1},
+		{image.FourSquares, image.Conn8, 4},
+	}
+	for _, c := range cases {
+		im := image.Generate(c.id, n)
+		m := mustMachine(t, 16)
+		res, err := Run(m, im, Options{Conn: c.conn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Components != c.want {
+			t.Errorf("%v at n=%d: %d components, want %d", c.id, n, res.Components, c.want)
+		}
+	}
+}
+
+// TestStress exercises large images and processor counts; skipped in
+// -short mode.
+func TestStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for _, tc := range []struct {
+		n, p int
+	}{
+		{256, 128}, {512, 256}, {256, 4},
+	} {
+		im := image.RandomBinary(tc.n, 0.593, uint64(tc.n*tc.p))
+		m := mustMachine(t, tc.p)
+		res, err := Run(m, im, Options{})
+		if err != nil {
+			t.Fatalf("n=%d p=%d: %v", tc.n, tc.p, err)
+		}
+		want := seq.LabelBFS(im, image.Conn8, seq.Binary)
+		for i := range want.Lab {
+			if res.Labels.Lab[i] != want.Lab[i] {
+				t.Fatalf("n=%d p=%d: mismatch at %d", tc.n, tc.p, i)
+			}
+		}
+		// The dual spiral at scale, all three parallel algorithms.
+		sp := image.Generate(image.DualSpiral, tc.n)
+		m2 := mustMachine(t, tc.p)
+		a, err := Run(m2, sp, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m3 := mustMachine(t, tc.p)
+		b, err := RunPropagation(m3, sp, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, why := a.Labels.EquivalentTo(b.Labels); !ok {
+			t.Fatalf("n=%d p=%d: merge vs diffusion: %s", tc.n, tc.p, why)
+		}
+	}
+}

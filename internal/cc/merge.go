@@ -1,0 +1,191 @@
+package cc
+
+import (
+	"parimg/internal/bdm"
+	"parimg/internal/graph"
+	"parimg/internal/sortutil"
+)
+
+// loadSide prefetches one side of the merged border (positional colors and
+// labels) into loc.sidePix/sideLab[side]. Side 0 is the left (horizontal
+// merge) or upper (vertical merge) side; side 1 the right or lower side.
+// The caller's own edge contributes a free local access; the rest are
+// split-phase prefetches completed with one Sync (cost tau + words), as in
+// Section 5.3.
+func (st *sharedState) loadSide(pr *bdm.Proc, loc *procLocal, grp Group, side int) {
+	ph := grp.Phase
+	var pixS, labS *bdm.Spread[uint32]
+	var chunk int
+	if ph.Orient == Horizontal {
+		chunk = st.lay.Q
+		if side == 0 {
+			pixS, labS = st.pixE, st.labE // east edges of the left column
+		} else {
+			pixS, labS = st.pixW, st.labW // west edges of the right column
+		}
+	} else {
+		chunk = st.lay.R
+		if side == 0 {
+			pixS, labS = st.pixS, st.labS // south edges of the upper row
+		} else {
+			pixS, labS = st.pixN, st.labN // north edges of the lower row
+		}
+	}
+	if cap(loc.sidePix[side]) < grp.Side {
+		loc.sidePix[side] = make([]uint32, grp.Side)
+		loc.sideLab[side] = make([]uint32, grp.Side)
+	}
+	loc.sidePix[side] = loc.sidePix[side][:grp.Side]
+	loc.sideLab[side] = loc.sideLab[side][:grp.Side]
+	for si, src := range grp.borderSources(st.lay, side == 0) {
+		bdm.Get(pr, loc.sidePix[side][si*chunk:(si+1)*chunk], pixS, src, 0)
+		bdm.Get(pr, loc.sideLab[side][si*chunk:(si+1)*chunk], labS, src, 0)
+	}
+	pr.Sync()
+	pr.Work(2 * grp.Side)
+}
+
+// sortSide builds the (label, position) pairs of the colored pixels of one
+// loaded side and sorts them by label with the hybrid radix sort, enabling
+// the first-type graph edges between same-labeled border pixels.
+func (st *sharedState) sortSide(pr *bdm.Proc, loc *procLocal, side, n int) {
+	pairs := loc.pairs[side][:0]
+	pix, lab := loc.sidePix[side], loc.sideLab[side]
+	for i := 0; i < n; i++ {
+		if pix[i] != 0 {
+			pairs = append(pairs, sortutil.Pair{Key: lab[i], Value: uint32(i)})
+		}
+	}
+	sortutil.SortPairs(pairs)
+	loc.pairs[side] = pairs
+	pr.Work(n + opsPerSortItem*len(pairs))
+}
+
+// fetchShadowSide prefetches the shadow manager's published sorted side
+// (count, sorted labels and positions, positional colors) and reconstructs
+// the positional label array locally.
+func (st *sharedState) fetchShadowSide(pr *bdm.Proc, loc *procLocal, grp Group) {
+	cnt := int(bdm.GetScalar(pr, st.shCnt, grp.Shadow, 0))
+	pr.Sync()
+	if cap(loc.skeys) < cnt {
+		loc.skeys = make([]uint32, cnt)
+		loc.svals = make([]uint32, cnt)
+	}
+	loc.skeys = loc.skeys[:cnt]
+	loc.svals = loc.svals[:cnt]
+	if cap(loc.sidePix[1]) < grp.Side {
+		loc.sidePix[1] = make([]uint32, grp.Side)
+		loc.sideLab[1] = make([]uint32, grp.Side)
+	}
+	loc.sidePix[1] = loc.sidePix[1][:grp.Side]
+	loc.sideLab[1] = loc.sideLab[1][:grp.Side]
+	bdm.Get(pr, loc.skeys, st.shSortLab, grp.Shadow, 0)
+	bdm.Get(pr, loc.svals, st.shSortPos, grp.Shadow, 0)
+	bdm.Get(pr, loc.sidePix[1], st.shPixPos, grp.Shadow, 0)
+	pr.Sync()
+
+	pairs := loc.pairs[1][:0]
+	for i := range loc.sideLab[1] {
+		loc.sideLab[1][i] = 0
+	}
+	for i := 0; i < cnt; i++ {
+		pairs = append(pairs, sortutil.Pair{Key: loc.skeys[i], Value: loc.svals[i]})
+		loc.sideLab[1][loc.svals[i]] = loc.skeys[i]
+	}
+	loc.pairs[1] = pairs
+	pr.Work(grp.Side + 2*cnt)
+}
+
+// solveMerge converts the merge into connected components of the border
+// graph (Section 5.3): vertices are the border pixels of both sides; edges
+// of the first type string together same-labeled pixels down each side (in
+// sorted order); edges of the second type join adjacent like-colored pixels
+// across the border. A sequential BFS solves the graph, each component's
+// new label is the minimum label it contains, and the sorted array of
+// unique (alpha, beta) change pairs is returned (Procedure 1). Choosing the
+// minimum keeps labels canonical: the final labeling equals the sequential
+// row-major BFS labeling exactly, not merely up to renaming.
+func (st *sharedState) solveMerge(pr *bdm.Proc, loc *procLocal, grp Group) []sortutil.Pair {
+	side := grp.Side
+	if loc.g == nil {
+		loc.g = graph.New(2 * side)
+	} else {
+		loc.g.Reset(2 * side)
+	}
+	g := loc.g
+
+	// First-type edges: consecutive entries of each side's label-sorted
+	// pair array with equal labels.
+	for s := 0; s < 2; s++ {
+		pairs := loc.pairs[s]
+		base := s * side
+		for i := 1; i < len(pairs); i++ {
+			if pairs[i].Key == pairs[i-1].Key {
+				g.AddEdge(base+int(pairs[i-1].Value), base+int(pairs[i].Value))
+			}
+		}
+	}
+
+	// Second-type edges: adjacency across the border. Under
+	// 8-connectivity a pixel at border position i faces positions i-1,
+	// i and i+1 on the other side; under 4-connectivity only i.
+	var djs []int
+	if st.opt.Conn == 4 {
+		djs = []int{0}
+	} else {
+		djs = []int{-1, 0, 1}
+	}
+	p0, p1 := loc.sidePix[0], loc.sidePix[1]
+	for i := 0; i < side; i++ {
+		a := p0[i]
+		if a == 0 {
+			continue
+		}
+		for _, dj := range djs {
+			j := i + dj
+			if j < 0 || j >= side {
+				continue
+			}
+			b := p1[j]
+			if b == 0 {
+				continue
+			}
+			if st.opt.Mode.Connected(a, b) {
+				g.AddEdge(i, side+j)
+			}
+		}
+	}
+
+	comp, ncomp := g.Components()
+
+	// Vertex labels, then minimum label per component.
+	if cap(loc.vlab) < 2*side {
+		loc.vlab = make([]uint32, 2*side)
+	}
+	vlab := loc.vlab[:2*side]
+	copy(vlab[:side], loc.sideLab[0])
+	copy(vlab[side:], loc.sideLab[1])
+	reps := graph.MinLabelPerComponent(comp, ncomp, vlab)
+
+	// Change pairs for every border pixel whose label shrinks; sorted
+	// and deduplicated per Procedure 1. (A label cannot map to two
+	// different targets: all its occurrences on a side are linked by
+	// first-type edges, and the two sides' label sets are disjoint.)
+	changes := loc.changes[:0]
+	for v := 0; v < 2*side; v++ {
+		l := vlab[v]
+		if l == 0 {
+			continue // background vertex (isolated)
+		}
+		if rep := reps[comp[v]]; rep != l {
+			changes = append(changes, sortutil.Pair{Key: l, Value: rep})
+		}
+	}
+	m := len(changes)
+	sortutil.SortPairs(changes)
+	changes = sortutil.UniquePairs(changes)
+	loc.changes = changes
+
+	pr.Work(opsPerGraphVertex*2*side + opsPerSortItem*m + opsPerChangePair*len(changes))
+	return changes
+}

@@ -1,0 +1,116 @@
+package cc
+
+import (
+	"fmt"
+	"testing"
+
+	"parimg/internal/image"
+	"parimg/internal/seq"
+)
+
+func checkPropagationExact(t *testing.T, im *image.Image, p int, opt Options) *Result {
+	t.Helper()
+	m := mustMachine(t, p)
+	res, err := RunPropagation(m, im, opt)
+	if err != nil {
+		t.Fatalf("RunPropagation(n=%d p=%d): %v", im.N, p, err)
+	}
+	o := opt
+	if err := o.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	want := seq.LabelBFS(im, o.Conn, o.Mode)
+	for idx := range want.Lab {
+		if res.Labels.Lab[idx] != want.Lab[idx] {
+			t.Fatalf("n=%d p=%d: pixel %d: label %d, want %d",
+				im.N, p, idx, res.Labels.Lab[idx], want.Lab[idx])
+		}
+	}
+	return res
+}
+
+func TestPropagationPatterns(t *testing.T) {
+	for _, id := range image.AllPatterns() {
+		for _, p := range []int{4, 16, 32} {
+			id, p := id, p
+			t.Run(fmt.Sprintf("%v/p=%d", id, p), func(t *testing.T) {
+				im := image.Generate(id, 64)
+				checkPropagationExact(t, im, p, Options{Conn: image.Conn8})
+				checkPropagationExact(t, im, p, Options{Conn: image.Conn4})
+			})
+		}
+	}
+}
+
+func TestPropagationRandomAndGrey(t *testing.T) {
+	im := image.RandomBinary(64, 0.593, 31)
+	checkPropagationExact(t, im, 16, Options{})
+	grey := image.RandomGrey(64, 8, 32)
+	checkPropagationExact(t, grey, 16, Options{Mode: seq.Grey})
+	checkPropagationExact(t, grey, 16, Options{Mode: seq.Grey, Conn: image.Conn4})
+}
+
+func TestPropagationDegenerateImages(t *testing.T) {
+	bg := image.New(32)
+	res := checkPropagationExact(t, bg, 16, Options{})
+	if res.Components != 0 {
+		t.Errorf("background image: %d components", res.Components)
+	}
+	fg := image.New(32)
+	for i := range fg.Pix {
+		fg.Pix[i] = 1
+	}
+	res = checkPropagationExact(t, fg, 16, Options{})
+	if res.Components != 1 {
+		t.Errorf("solid image: %d components", res.Components)
+	}
+}
+
+// TestPropagationNeedsMoreIterationsOnSpiral demonstrates the baseline's
+// weakness that motivates the paper's log p merging: on the dual spiral the
+// diffusion iteration count grows with the component's tile diameter, while
+// the paper's algorithm always uses exactly log p merge phases.
+func TestPropagationNeedsMoreIterationsOnSpiral(t *testing.T) {
+	spiral := image.Generate(image.DualSpiral, 128)
+	squares := image.Generate(image.FourSquares, 128)
+	p := 64
+
+	mSpiral := mustMachine(t, p)
+	rs, err := RunPropagation(mSpiral, spiral, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSq := mustMachine(t, p)
+	rq, err := RunPropagation(mSq, squares, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Phases <= rq.Phases {
+		t.Errorf("spiral took %d iterations, four-squares %d; expected spiral to need more",
+			rs.Phases, rq.Phases)
+	}
+	mMerge := mustMachine(t, p)
+	rm, err := Run(mMerge, spiral, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Phases != 6 { // log2(64)
+		t.Errorf("merge algorithm used %d phases, want 6", rm.Phases)
+	}
+	if rs.Phases <= rm.Phases {
+		t.Errorf("diffusion (%d iters) should exceed merge phases (%d) on the spiral",
+			rs.Phases, rm.Phases)
+	}
+	// And the simulated time should favor the paper's algorithm.
+	if rm.Report.SimTime >= rs.Report.SimTime {
+		t.Errorf("merge sim time %.4g s not better than diffusion %.4g s",
+			rm.Report.SimTime, rs.Report.SimTime)
+	}
+}
+
+func TestPropagationInvalidOptions(t *testing.T) {
+	m := mustMachine(t, 4)
+	if _, err := RunPropagation(m, image.New(32), Options{Conn: image.Connectivity(3)}); err == nil {
+		t.Error("want error for invalid connectivity")
+	}
+}

@@ -1,0 +1,191 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parimg/internal/bdm"
+	"parimg/internal/image"
+	"parimg/internal/machine"
+	"parimg/internal/seq"
+)
+
+// TestQuickParallelEqualsSequential is the main property test: for random
+// images, processor counts, connectivities and modes, the parallel labeling
+// must equal the sequential one bit for bit.
+func TestQuickParallelEqualsSequential(t *testing.T) {
+	f := func(seed uint64, pSel, connSel, modeSel, densitySel uint8) bool {
+		ps := []int{2, 4, 8, 16, 32, 64}
+		p := ps[int(pSel)%len(ps)]
+		n := 32
+		conn := image.Conn8
+		if connSel%2 == 0 {
+			conn = image.Conn4
+		}
+		mode := seq.Binary
+		var im *image.Image
+		density := []float64{0.2, 0.45, 0.593, 0.75}[int(densitySel)%4]
+		if modeSel%2 == 0 {
+			mode = seq.Grey
+			im = image.RandomGrey(n, 4, seed)
+		} else {
+			im = image.RandomBinary(n, density, seed)
+		}
+		m, err := bdm.NewMachine(p, machine.CM5)
+		if err != nil {
+			return false
+		}
+		res, err := Run(m, im, Options{Conn: conn, Mode: mode})
+		if err != nil {
+			t.Logf("Run failed: %v", err)
+			return false
+		}
+		want := seq.LabelBFS(im, conn, mode)
+		for i := range want.Lab {
+			if res.Labels.Lab[i] != want.Lab[i] {
+				t.Logf("seed=%d p=%d conn=%v mode=%v: mismatch at %d", seed, p, conn, mode, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPropagationEqualsMerge cross-checks the two parallel algorithms
+// against each other on random inputs.
+func TestQuickPropagationEqualsMerge(t *testing.T) {
+	f := func(seed uint64, pSel uint8) bool {
+		ps := []int{4, 16, 32}
+		p := ps[int(pSel)%len(ps)]
+		im := image.RandomBinary(32, 0.55, seed)
+		m1, err := bdm.NewMachine(p, machine.SP2)
+		if err != nil {
+			return false
+		}
+		a, err := Run(m1, im, Options{})
+		if err != nil {
+			return false
+		}
+		m2, err := bdm.NewMachine(p, machine.SP2)
+		if err != nil {
+			return false
+		}
+		b, err := RunPropagation(m2, im, Options{})
+		if err != nil {
+			return false
+		}
+		for i := range a.Labels.Lab {
+			if a.Labels.Lab[i] != b.Labels.Lab[i] {
+				return false
+			}
+		}
+		return a.Components == b.Components
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLabelsAreCanonical checks the canonical-label invariant on the
+// parallel output directly: every component's label is exactly the minimum
+// global row-major index among its pixels, plus one.
+func TestQuickLabelsAreCanonical(t *testing.T) {
+	f := func(seed uint64) bool {
+		im := image.RandomBinary(32, 0.6, seed)
+		m, err := bdm.NewMachine(16, machine.CM5)
+		if err != nil {
+			return false
+		}
+		res, err := Run(m, im, Options{})
+		if err != nil {
+			return false
+		}
+		min := map[uint32]int{}
+		for idx, l := range res.Labels.Lab {
+			if l == 0 {
+				continue
+			}
+			if _, ok := min[l]; !ok {
+				min[l] = idx // first occurrence in row-major order
+			}
+		}
+		for l, idx := range min {
+			if int(l) != idx+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterministicSimTime verifies that repeated runs produce identical
+// simulated costs (the clock must not depend on goroutine scheduling).
+func TestDeterministicSimTime(t *testing.T) {
+	im := image.Generate(image.DualSpiral, 64)
+	var times []float64
+	for trial := 0; trial < 4; trial++ {
+		m := mustMachine(t, 16)
+		res, err := Run(m, im, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, res.Report.SimTime)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] != times[0] {
+			t.Fatalf("nondeterministic simulated time: %v", times)
+		}
+	}
+}
+
+// TestCCScalesWithP checks the Figure 3 claim on the simulated clock: for
+// a large enough image, doubling p keeps improving the runtime.
+func TestCCScalesWithP(t *testing.T) {
+	im := image.Generate(image.ConcentricCircles, 256)
+	var prev float64
+	for idx, p := range []int{4, 16, 64} {
+		m := mustMachine(t, p)
+		res, err := Run(m, im, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx > 0 && res.Report.SimTime >= prev {
+			t.Errorf("p=%d: sim time %.4g did not improve on %.4g", p, res.Report.SimTime, prev)
+		}
+		prev = res.Report.SimTime
+	}
+}
+
+// TestCommHasLogPLatencyTerm checks Eq. (11)'s latency structure: on a
+// latency-dominated machine, CC communication time grows with log p, not
+// with p.
+func TestCommHasLogPLatencyTerm(t *testing.T) {
+	im := image.RandomBinary(64, 0.5, 5)
+	get := func(p int) float64 {
+		m, err := bdm.NewMachine(p, machine.LatencyBound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(m, im, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report.CommTime
+	}
+	c4, c16, c64 := get(4), get(16), get(64)
+	// log p doubles from 4 to 16 and triples from 4 to 64; allow slack
+	// for the per-phase constant but reject linear-in-p growth (which
+	// would give 4x and 16x).
+	if r := c16 / c4; r < 1.5 || r > 3 {
+		t.Errorf("comm(16)/comm(4) = %.2f, want ~2 (log-p growth)", r)
+	}
+	if r := c64 / c4; r < 2 || r > 5 {
+		t.Errorf("comm(64)/comm(4) = %.2f, want ~3 (log-p growth)", r)
+	}
+}

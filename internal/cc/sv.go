@@ -1,0 +1,245 @@
+package cc
+
+import (
+	"fmt"
+
+	"parimg/internal/bdm"
+	"parimg/internal/image"
+)
+
+// RunShiloachVishkin labels connected components with a PRAM-style
+// pointer-jumping algorithm in the Shiloach-Vishkin/Awerbuch-Shiloach
+// family, the approach behind Table 2's "Shiloach/Vishkin alg." row
+// (Hummel 1986 on the NYU Ultracomputer).
+//
+// Pixels are the vertices, distributed in row strips; D[v] is the parent
+// pointer, initialized to v. Iterations alternate
+//
+//  1. neighborhood hooking: D'[v] = min(D[v], D[u] over edges (u, v)), and
+//  2. pointer jumping: D'[v] = D[D[v]],
+//
+// until a global fixed point, at which D is constant per component and
+// equal to the component's minimum vertex id — so the final labeling is
+// canonical, identical to Run and seq.LabelBFS.
+//
+// On a PRAM this family runs in O(log n) iterations of O(n^2) work. On a
+// distributed-memory machine, however, the pointer-jumping step performs a
+// *data-dependent remote read per vertex* (D[v] may point into any strip),
+// so every iteration moves O(n^2/p) words per processor — the paper's
+// motivation for avoiding PRAM ports in favor of its O(log p)-round merge
+// with O(border) communication. The benchmark harness quantifies the gap
+// (BenchmarkBaselineSV, `experiments svbaseline`).
+//
+// Only Conn and Mode of the options are honored. The machine's p must not
+// exceed the image side n (row-strip distribution).
+func RunShiloachVishkin(m *bdm.Machine, im *image.Image, opt Options) (*Result, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	// Row strips need p | n for even distribution; reuse the layout
+	// validation for the power-of-two requirement.
+	if _, err := image.NewLayout(im.N, m.P()); err != nil {
+		return nil, err
+	}
+	if m.P() > im.N || im.N%m.P() != 0 {
+		return nil, errTooManyProcs(m.P(), im.N)
+	}
+
+	st := newSVState(m, im, opt)
+	m.Reset()
+	report, err := m.Run(st.procMain)
+	if err != nil {
+		return nil, err
+	}
+
+	out := image.NewLabels(im.N)
+	for rank := 0; rank < m.P(); rank++ {
+		copy(out.Lab[rank*st.perProc:(rank+1)*st.perProc], st.dcur.Row(rank))
+	}
+	return &Result{
+		Labels:     out,
+		Components: out.Components(),
+		Report:     report,
+		Phases:     st.iterations,
+	}, nil
+}
+
+type tooManyProcsError struct{ p, n int }
+
+func (e tooManyProcsError) Error() string {
+	return fmt.Sprintf("cc: Shiloach-Vishkin row strips require p to divide n, got p=%d n=%d", e.p, e.n)
+}
+
+func errTooManyProcs(p, n int) error { return tooManyProcsError{p: p, n: n} }
+
+// svState carries the distributed parent array and per-processor adjacency.
+type svState struct {
+	n       int
+	perProc int // vertices per processor (n^2/p)
+	rows    int // strip height (n/p)
+	opt     Options
+
+	// dcur holds the current parent pointers (label values: vertex id +
+	// 1 for foreground, 0 for background); dnext is the write buffer of
+	// the current phase.
+	dcur    *bdm.Spread[uint32]
+	dnext   *bdm.Spread[uint32]
+	changed *bdm.Spread[uint32]
+
+	// Static adjacency, built at setup: for each local vertex,
+	// nbrs[nbrStart[i]:nbrStart[i+1]] lists the global ids of its
+	// connected neighbors.
+	nbrStart [][]int32
+	nbrs     [][]int32
+
+	iterations int
+}
+
+func newSVState(m *bdm.Machine, im *image.Image, opt Options) *svState {
+	p := m.P()
+	n := im.N
+	st := &svState{
+		n:       n,
+		perProc: n * n / p,
+		rows:    n / p,
+		opt:     opt,
+		dcur:    bdm.NewSpread[uint32](m, n*n/p),
+		dnext:   bdm.NewSpread[uint32](m, n*n/p),
+		changed: bdm.NewSpread[uint32](m, 1),
+
+		nbrStart: make([][]int32, p),
+		nbrs:     make([][]int32, p),
+	}
+	offs := opt.Conn.Offsets()
+	for rank := 0; rank < p; rank++ {
+		start := make([]int32, st.perProc+1)
+		var adj []int32
+		r0 := rank * st.rows
+		for i := 0; i < st.rows; i++ {
+			for j := 0; j < n; j++ {
+				gi := r0 + i
+				v := gi*n + j
+				local := i*n + j
+				start[local] = int32(len(adj))
+				if im.Pix[v] != 0 {
+					for _, d := range offs {
+						ni, nj := gi+d[0], j+d[1]
+						if ni < 0 || ni >= n || nj < 0 || nj >= n {
+							continue
+						}
+						u := ni*n + nj
+						if opt.Mode.Connected(im.Pix[v], im.Pix[u]) {
+							adj = append(adj, int32(u))
+						}
+					}
+				}
+			}
+		}
+		start[st.perProc] = int32(len(adj))
+		st.nbrStart[rank] = start
+		st.nbrs[rank] = adj
+
+		// D[v] = v+1 for foreground (labels are vertex id + 1, so the
+		// converged value is the canonical label), 0 for background.
+		d := st.dcur.Row(rank)
+		for local := 0; local < st.perProc; local++ {
+			if im.Pix[r0*n+local] != 0 {
+				d[local] = uint32(r0*n+local) + 1
+			}
+		}
+	}
+	return st
+}
+
+// svGet reads D[v] for a global vertex id, charging a remote word when v
+// lives on another processor.
+func (st *svState) svGet(pr *bdm.Proc, d *bdm.Spread[uint32], v int32) uint32 {
+	owner := int(v) / st.perProc
+	return bdm.GetScalar(pr, d, owner, int(v)%st.perProc)
+}
+
+func (st *svState) procMain(pr *bdm.Proc) {
+	rank := pr.Rank()
+	cur := st.dcur.Local(pr)
+	next := st.dnext.Local(pr)
+	start := st.nbrStart[rank]
+	adj := st.nbrs[rank]
+
+	pr.Work(opsPerPixelBFS * st.perProc / 3) // adjacency scan amortization
+	pr.Barrier()
+
+	iter := 0
+	for {
+		iter++
+		// Phase 1: neighborhood hooking (read everyone's cur, write
+		// own next).
+		changed := false
+		for v := 0; v < st.perProc; v++ {
+			dv := cur[v]
+			if dv == 0 {
+				next[v] = 0
+				continue
+			}
+			for _, u := range adj[start[v]:start[v+1]] {
+				if du := st.svGet(pr, st.dcur, u); du != 0 && du < dv {
+					dv = du
+				}
+			}
+			if dv != cur[v] {
+				changed = true
+			}
+			next[v] = dv
+		}
+		pr.Sync()
+		pr.Work(2*len(adj) + 2*st.perProc)
+		pr.Barrier()
+		copy(cur, next)
+		pr.Work(st.perProc)
+		pr.Barrier()
+
+		// Phase 2: pointer jumping, D[v] = D[D[v]] (a data-dependent,
+		// possibly remote read per foreground vertex).
+		for v := 0; v < st.perProc; v++ {
+			dv := cur[v]
+			if dv == 0 {
+				next[v] = 0
+				continue
+			}
+			dd := st.svGet(pr, st.dcur, int32(dv-1))
+			if dd != 0 && dd != dv {
+				changed = true
+				next[v] = dd
+			} else {
+				next[v] = dv
+			}
+		}
+		pr.Sync()
+		pr.Work(4 * st.perProc)
+		pr.Barrier()
+		copy(cur, next)
+		pr.Work(st.perProc)
+
+		// Global convergence check.
+		if changed {
+			st.changed.Local(pr)[0] = 1
+		} else {
+			st.changed.Local(pr)[0] = 0
+		}
+		pr.Barrier()
+		any := false
+		for rnk := 0; rnk < pr.P(); rnk++ {
+			if bdm.GetScalar(pr, st.changed, rnk, 0) != 0 {
+				any = true
+			}
+		}
+		pr.Sync()
+		pr.Work(pr.P())
+		pr.Barrier()
+		if !any {
+			break
+		}
+	}
+	if rank == 0 {
+		st.iterations = iter
+	}
+}

@@ -1,0 +1,116 @@
+package cc
+
+import (
+	"fmt"
+	"testing"
+
+	"parimg/internal/image"
+	"parimg/internal/seq"
+)
+
+func checkSVExact(t *testing.T, im *image.Image, p int, opt Options) *Result {
+	t.Helper()
+	m := mustMachine(t, p)
+	res, err := RunShiloachVishkin(m, im, opt)
+	if err != nil {
+		t.Fatalf("RunShiloachVishkin(n=%d p=%d): %v", im.N, p, err)
+	}
+	o := opt
+	if err := o.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	want := seq.LabelBFS(im, o.Conn, o.Mode)
+	for idx := range want.Lab {
+		if res.Labels.Lab[idx] != want.Lab[idx] {
+			t.Fatalf("n=%d p=%d: pixel %d: label %d, want %d",
+				im.N, p, idx, res.Labels.Lab[idx], want.Lab[idx])
+		}
+	}
+	return res
+}
+
+func TestSVPatterns(t *testing.T) {
+	for _, id := range image.AllPatterns() {
+		for _, p := range []int{1, 4, 16} {
+			id, p := id, p
+			t.Run(fmt.Sprintf("%v/p=%d", id, p), func(t *testing.T) {
+				im := image.Generate(id, 32)
+				checkSVExact(t, im, p, Options{Conn: image.Conn8})
+				checkSVExact(t, im, p, Options{Conn: image.Conn4})
+			})
+		}
+	}
+}
+
+func TestSVRandomAndGrey(t *testing.T) {
+	im := image.RandomBinary(64, 0.593, 41)
+	checkSVExact(t, im, 16, Options{})
+	grey := image.RandomGrey(64, 8, 42)
+	checkSVExact(t, grey, 16, Options{Mode: seq.Grey})
+}
+
+func TestSVDegenerate(t *testing.T) {
+	bg := image.New(16)
+	res := checkSVExact(t, bg, 4, Options{})
+	if res.Components != 0 {
+		t.Errorf("background: %d components", res.Components)
+	}
+	fg := image.New(16)
+	for i := range fg.Pix {
+		fg.Pix[i] = 1
+	}
+	res = checkSVExact(t, fg, 4, Options{})
+	if res.Components != 1 {
+		t.Errorf("solid: %d components", res.Components)
+	}
+}
+
+func TestSVRejectsBadP(t *testing.T) {
+	m := mustMachine(t, 64)
+	if _, err := RunShiloachVishkin(m, image.New(32), Options{}); err == nil {
+		t.Error("p > n should be rejected")
+	}
+}
+
+// TestSVCommDominates captures the distributed-memory lesson: the
+// pointer-jumping algorithm moves orders of magnitude more words than the
+// paper's merge algorithm on the same input.
+func TestSVCommDominates(t *testing.T) {
+	im := image.Generate(image.DualSpiral, 64)
+	p := 16
+	m1 := mustMachine(t, p)
+	merge, err := Run(m1, im, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := mustMachine(t, p)
+	sv, err := RunShiloachVishkin(m2, im, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.Report.Words < 10*merge.Report.Words {
+		t.Errorf("SV moved %d words, merge %d; expected at least a 10x gap",
+			sv.Report.Words, merge.Report.Words)
+	}
+	if sv.Report.SimTime < merge.Report.SimTime {
+		t.Errorf("SV sim time %.4g beat merge %.4g on the CM-5 model",
+			sv.Report.SimTime, merge.Report.SimTime)
+	}
+}
+
+func TestSVConvergesQuickly(t *testing.T) {
+	// Pointer jumping converges in far fewer rounds than the component
+	// diameter in pixels: the spiral's arms are over a thousand pixels
+	// long at n=64, yet hooking+jumping finishes in well under 150
+	// rounds (each jump geometrically compresses the pointer chains
+	// that hooking extends).
+	im := image.Generate(image.DualSpiral, 64)
+	m := mustMachine(t, 16)
+	res, err := RunShiloachVishkin(m, im, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases > 150 {
+		t.Errorf("SV took %d iterations on a 64x64 spiral; expected sublinear convergence", res.Phases)
+	}
+}

@@ -1,0 +1,91 @@
+package comm
+
+import (
+	"fmt"
+
+	"parimg/internal/bdm"
+)
+
+// Scatter distributes p consecutive blocks of m elements from root's block
+// of in to every processor's block of out (processor i receives block i).
+// Each non-root processor prefetches its block directly from root, so the
+// root's outgoing traffic is (p-1)*m words, settled as passive congestion;
+// receivers pay tau + m.
+func Scatter(p *bdm.Proc, out, in *bdm.Spread[uint32], m, root int) {
+	np := p.P()
+	if m < 0 || np*m > in.PerProc() || m > out.PerProc() {
+		panic(fmt.Sprintf("comm: Scatter m=%d out of range", m))
+	}
+	i := p.Rank()
+	bdm.Get(p, out.Local(p)[:m], in, root, i*m)
+	p.Work(m)
+	p.Barrier()
+}
+
+// Gather collects m elements from every processor's block of in into
+// root's block of out (p*m elements ordered by rank), the inverse of
+// Scatter, using the circular schedule so the result generalizes
+// CollectToZero to any root.
+func Gather(p *bdm.Proc, out, in *bdm.Spread[uint32], m, root int) {
+	np := p.P()
+	if m < 0 || m > in.PerProc() || np*m > out.PerProc() {
+		panic(fmt.Sprintf("comm: Gather m=%d out of range", m))
+	}
+	if p.Rank() == root {
+		local := out.Local(p)
+		for loop := 0; loop < np; loop++ {
+			r := (root + loop) % np
+			bdm.Get(p, local[r*m:(r+1)*m], in, r, 0)
+		}
+		p.Work(np * m)
+	}
+	p.Barrier()
+}
+
+// AllToAll performs the general personalized all-to-all exchange: block j
+// of processor i's block of in (m elements at offset j*m) ends up as block
+// i of processor j's block of out. The matrix transpose of Algorithm 1 is
+// exactly this pattern with m = q/p; AllToAll exposes it for arbitrary
+// block payloads. The circular schedule keeps every processor busy with a
+// distinct partner each round, costing tau + (p-1)*m word-times.
+func AllToAll(p *bdm.Proc, out, in *bdm.Spread[uint32], m int) {
+	np := p.P()
+	if m < 0 || np*m > in.PerProc() || np*m > out.PerProc() {
+		panic(fmt.Sprintf("comm: AllToAll m=%d out of range", m))
+	}
+	i := p.Rank()
+	local := out.Local(p)
+	for loop := 0; loop < np; loop++ {
+		r := (i + loop) % np
+		bdm.Get(p, local[r*m:(r+1)*m], in, r, i*m)
+	}
+	p.Work(np * m)
+	p.Barrier()
+}
+
+// PrefixSums leaves, in every processor's block of out, the element-wise
+// inclusive prefix sums over processor ranks of the first m elements of
+// in: out on processor i equals the sum of in over processors 0..i. It is
+// built from an allgather followed by a local partial sum, costing
+// tau + (p-1)*m word-times and O(p*m) local work — the BDM-friendly way to
+// implement scan for small m (the paper's algorithms use scans of
+// histogram-bar and change-array sizes).
+func PrefixSums(p *bdm.Proc, out, scratch, in *bdm.Spread[uint32], m int) {
+	np := p.P()
+	if m < 0 || m > in.PerProc() || np*m > scratch.PerProc() || m > out.PerProc() {
+		panic(fmt.Sprintf("comm: PrefixSums m=%d out of range", m))
+	}
+	AllGather(p, scratch, in, m)
+	local := out.Local(p)
+	gathered := scratch.Local(p)
+	i := p.Rank()
+	for j := 0; j < m; j++ {
+		var s uint32
+		for r := 0; r <= i; r++ {
+			s += gathered[r*m+j]
+		}
+		local[j] = s
+	}
+	p.Work((i + 1) * m)
+	p.Barrier()
+}

@@ -1,0 +1,208 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"parimg/internal/bdm"
+)
+
+func TestScatter(t *testing.T) {
+	for _, root := range []int{0, 3} {
+		p, m := 4, 3
+		mach := mustMachine(t, p)
+		in := bdm.NewSpread[uint32](mach, p*m)
+		out := bdm.NewSpread[uint32](mach, m)
+		for b := 0; b < p; b++ {
+			for e := 0; e < m; e++ {
+				in.Row(root)[b*m+e] = uint32(b*100 + e)
+			}
+		}
+		if _, err := mach.Run(func(pr *bdm.Proc) {
+			Scatter(pr, out, in, m, root)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < p; r++ {
+			for e := 0; e < m; e++ {
+				if out.Row(r)[e] != uint32(r*100+e) {
+					t.Fatalf("root=%d: proc %d elem %d = %d", root, r, e, out.Row(r)[e])
+				}
+			}
+		}
+	}
+}
+
+func TestGatherAnyRoot(t *testing.T) {
+	p, m := 8, 2
+	for _, root := range []int{0, 5} {
+		mach := mustMachine(t, p)
+		in := bdm.NewSpread[uint32](mach, m)
+		out := bdm.NewSpread[uint32](mach, p*m)
+		for r := 0; r < p; r++ {
+			for e := 0; e < m; e++ {
+				in.Row(r)[e] = uint32(r*10 + e)
+			}
+		}
+		if _, err := mach.Run(func(pr *bdm.Proc) {
+			Gather(pr, out, in, m, root)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < p; r++ {
+			for e := 0; e < m; e++ {
+				if out.Row(root)[r*m+e] != uint32(r*10+e) {
+					t.Fatalf("root=%d: gathered[%d][%d] = %d", root, r, e, out.Row(root)[r*m+e])
+				}
+			}
+		}
+	}
+}
+
+func TestScatterGatherInverse(t *testing.T) {
+	p, m := 4, 5
+	mach := mustMachine(t, p)
+	src := bdm.NewSpread[uint32](mach, p*m)
+	mid := bdm.NewSpread[uint32](mach, m)
+	dst := bdm.NewSpread[uint32](mach, p*m)
+	for e := 0; e < p*m; e++ {
+		src.Row(2)[e] = uint32(e * 7)
+	}
+	if _, err := mach.Run(func(pr *bdm.Proc) {
+		Scatter(pr, mid, src, m, 2)
+		Gather(pr, dst, mid, m, 2)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < p*m; e++ {
+		if dst.Row(2)[e] != src.Row(2)[e] {
+			t.Fatalf("scatter+gather not identity at %d", e)
+		}
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	p, m := 4, 2
+	mach := mustMachine(t, p)
+	in := bdm.NewSpread[uint32](mach, p*m)
+	out := bdm.NewSpread[uint32](mach, p*m)
+	// in.Row(i)[j*m+e] = i*1000 + j*10 + e.
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			for e := 0; e < m; e++ {
+				in.Row(i)[j*m+e] = uint32(i*1000 + j*10 + e)
+			}
+		}
+	}
+	if _, err := mach.Run(func(pr *bdm.Proc) {
+		AllToAll(pr, out, in, m)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// out.Row(j)[i*m+e] must be in.Row(i)[j*m+e].
+	for j := 0; j < p; j++ {
+		for i := 0; i < p; i++ {
+			for e := 0; e < m; e++ {
+				want := uint32(i*1000 + j*10 + e)
+				if out.Row(j)[i*m+e] != want {
+					t.Fatalf("out[%d][%d*m+%d] = %d, want %d", j, i, e, out.Row(j)[i*m+e], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllToAllMatchesTranspose(t *testing.T) {
+	// With q = p*m, Transpose of a q x p matrix is AllToAll with blocks
+	// of m = q/p.
+	p, q := 4, 16
+	m := q / p
+	mach := mustMachine(t, p)
+	in := bdm.NewSpread[uint32](mach, q)
+	outT := bdm.NewSpread[uint32](mach, q)
+	outA := bdm.NewSpread[uint32](mach, q)
+	fillMatrix(in, p, q)
+	if _, err := mach.Run(func(pr *bdm.Proc) {
+		Transpose(pr, outT, in, q)
+		AllToAll(pr, outA, in, m)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		for e := 0; e < q; e++ {
+			if outT.Row(r)[e] != outA.Row(r)[e] {
+				t.Fatalf("transpose and all-to-all differ at [%d][%d]: %d vs %d",
+					r, e, outT.Row(r)[e], outA.Row(r)[e])
+			}
+		}
+	}
+}
+
+func TestPrefixSums(t *testing.T) {
+	p, m := 8, 3
+	mach := mustMachine(t, p)
+	in := bdm.NewSpread[uint32](mach, m)
+	scratch := bdm.NewSpread[uint32](mach, p*m)
+	out := bdm.NewSpread[uint32](mach, m)
+	for r := 0; r < p; r++ {
+		for e := 0; e < m; e++ {
+			in.Row(r)[e] = uint32(r + e + 1)
+		}
+	}
+	if _, err := mach.Run(func(pr *bdm.Proc) {
+		PrefixSums(pr, out, scratch, in, m)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		for e := 0; e < m; e++ {
+			var want uint32
+			for k := 0; k <= r; k++ {
+				want += uint32(k + e + 1)
+			}
+			if out.Row(r)[e] != want {
+				t.Fatalf("prefix[%d][%d] = %d, want %d", r, e, out.Row(r)[e], want)
+			}
+		}
+	}
+}
+
+func TestScatterCost(t *testing.T) {
+	// Each receiver pays tau + m; the root's outgoing (p-1)*m words are
+	// settled as passive excess at the barrier.
+	p, m := 4, 100
+	mach := mustMachine(t, p)
+	in := bdm.NewSpread[uint32](mach, p*m)
+	out := bdm.NewSpread[uint32](mach, m)
+	rep, err := mach.Run(func(pr *bdm.Proc) {
+		Scatter(pr, out, in, m, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := testCost.Tau + float64(m)*testCost.SecPerWord
+	if math.Abs(rep.Procs[1].Comm-recv) > 1e-12 {
+		t.Errorf("receiver comm = %g, want %g", rep.Procs[1].Comm, recv)
+	}
+	// Root: passive (p-1)*m minus its own active 0 (local access free).
+	rootExtra := float64((p-1)*m) * testCost.SecPerWord
+	if math.Abs(rep.Procs[0].Comm-rootExtra) > 1e-12 {
+		t.Errorf("root comm = %g, want %g (congestion)", rep.Procs[0].Comm, rootExtra)
+	}
+}
+
+func TestCollectivePanicsOnBadSizes(t *testing.T) {
+	mach := mustMachine(t, 4)
+	small := bdm.NewSpread[uint32](mach, 2)
+	if _, err := mach.Run(func(pr *bdm.Proc) {
+		Scatter(pr, small, small, 2, 0) // needs p*m = 8 in root's block
+	}); err == nil {
+		t.Error("Scatter with undersized source should abort")
+	}
+	mach.Reset()
+	if _, err := mach.Run(func(pr *bdm.Proc) {
+		AllToAll(pr, small, small, 2)
+	}); err == nil {
+		t.Error("AllToAll with undersized spreads should abort")
+	}
+}

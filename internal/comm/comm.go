@@ -1,0 +1,185 @@
+// Package comm implements the paper's BDM data-movement primitives on the
+// bdm runtime: the circular-schedule matrix transpose (Algorithm 1), the
+// two-transpose broadcast (Algorithm 2), the truncated transpose used by
+// histogramming when k < p, and the circular collection onto processor 0.
+//
+// All functions are SPMD: every processor of the machine must call them
+// collectively with identical size arguments. They leave the machine at a
+// barrier, so callers may immediately read the results.
+package comm
+
+import (
+	"fmt"
+
+	"parimg/internal/bdm"
+)
+
+// Transpose performs the q x p matrix transposition of Algorithm 1.
+//
+// The matrix A is stored with column i (q elements) in processor i's block
+// of in. On return, processor i's block of out holds rows i*q/p .. (i+1)*q/p
+// of A laid out as p consecutive sub-blocks of q/p elements: sub-block r of
+// processor i is A[r][i*b .. (i+1)*b) with b = q/p.
+//
+// q must be a positive multiple of p. Following Eq. (1), the communication
+// cost per processor is tau + (q - q/p) word-times; the local cost is O(q).
+func Transpose(p *bdm.Proc, out, in *bdm.Spread[uint32], q int) {
+	np := p.P()
+	if q <= 0 || q%np != 0 {
+		panic(fmt.Sprintf("comm: Transpose requires p | q, got q=%d p=%d", q, np))
+	}
+	b := q / np
+	i := p.Rank()
+	local := out.Local(p)
+	// Circular schedule: during iteration loop, processor i prefetches
+	// its block from processor (i+loop) mod p, so no processor is hit by
+	// more than one request per round.
+	for loop := 0; loop < np; loop++ {
+		r := (i + loop) % np
+		bdm.Get(p, local[r*b:(r+1)*b], in, r, i*b)
+	}
+	p.Work(q) // local placement of q elements
+	p.Barrier()
+}
+
+// Broadcast implements Algorithm 2: processor root holds q elements at the
+// start of its block of buf; on return every processor's block of buf holds
+// a copy of all q elements, in order. scratch must be a distinct spread with
+// at least q elements per processor; its contents are clobbered.
+//
+// q must be a positive multiple of p. Per Eq. (2) the cost is two
+// transpositions: Tcomm <= 2(tau + q - q/p).
+func Broadcast(p *bdm.Proc, buf, scratch *bdm.Spread[uint32], q, root int) {
+	np := p.P()
+	if q <= 0 || q%np != 0 {
+		panic(fmt.Sprintf("comm: Broadcast requires p | q, got q=%d p=%d", q, np))
+	}
+	if root < 0 || root >= np {
+		panic(fmt.Sprintf("comm: Broadcast root %d out of range", root))
+	}
+	b := q / np
+	i := p.Rank()
+
+	// First transposition, specialized: only column `root` of the
+	// conceptual q x p matrix holds valid data, so each processor
+	// prefetches just its q/p sub-block from root.
+	bdm.Get(p, scratch.Local(p)[:b], buf, root, i*b)
+	p.Work(b)
+	p.Barrier()
+
+	// Second transposition, specialized to the first valid slot of every
+	// remote block (the paper's Step 3): processor i gathers sub-block r
+	// from processor r's first slot, reconstructing the full q elements.
+	local := buf.Local(p)
+	for loop := 0; loop < np; loop++ {
+		r := (i + loop) % np
+		bdm.Get(p, local[r*b:(r+1)*b], scratch, r, 0)
+	}
+	p.Work(q)
+	p.Barrier()
+}
+
+// BroadcastNaive broadcasts q elements from root's block of buf by having
+// every other processor pull the whole payload directly from root. Each
+// receiver pays tau + q, but the root serves (p-1)*q words and becomes the
+// bottleneck — the congestion the two-transposition Broadcast (Algorithm 2)
+// exists to avoid. Kept for the ablation benchmarks.
+func BroadcastNaive(p *bdm.Proc, buf *bdm.Spread[uint32], q, root int) {
+	np := p.P()
+	if q <= 0 || q > buf.PerProc() {
+		panic(fmt.Sprintf("comm: BroadcastNaive q=%d out of range", q))
+	}
+	if root < 0 || root >= np {
+		panic(fmt.Sprintf("comm: BroadcastNaive root %d out of range", root))
+	}
+	if p.Rank() != root {
+		bdm.Get(p, buf.Local(p)[:q], buf, root, 0)
+		p.Work(q)
+	}
+	p.Barrier()
+}
+
+// TruncatedTranspose moves row i of a k x p matrix (k <= p, row elements
+// spread one per processor) onto processor i, for i < k. Processor j's
+// block of in holds the j-th element of every row, i.e. in.Row(j)[i] is
+// element (i, j). On return processor i < k holds row i (p elements) in its
+// block of out; processors i >= k receive nothing.
+//
+// This is the "truncated transpose to put each row into a processor" used
+// by histogramming when the number of grey levels is smaller than p.
+func TruncatedTranspose(p *bdm.Proc, out, in *bdm.Spread[uint32], k int) {
+	np := p.P()
+	if k <= 0 || k > np {
+		panic(fmt.Sprintf("comm: TruncatedTranspose requires 0 < k <= p, got k=%d p=%d", k, np))
+	}
+	i := p.Rank()
+	if i < k {
+		local := out.Local(p)
+		for loop := 0; loop < np; loop++ {
+			r := (i + loop) % np
+			local[r] = bdm.GetScalar(p, in, r, i)
+		}
+		p.Work(np)
+	}
+	p.Barrier()
+}
+
+// CollectToZero gathers m elements from every processor's block of in onto
+// processor 0's block of out (p*m elements, ordered by rank) using the
+// circular data movement of Section 2. Its cost at processor 0 is
+// tau + (p-1)*m word-times, matching the histogram collection bound
+// Tcomm <= tau + k - max(k/p, 1).
+func CollectToZero(p *bdm.Proc, out, in *bdm.Spread[uint32], m int) {
+	np := p.P()
+	if m < 0 || m > in.PerProc() {
+		panic(fmt.Sprintf("comm: CollectToZero m=%d out of range", m))
+	}
+	if p.Rank() == 0 {
+		local := out.Local(p)
+		for loop := 0; loop < np; loop++ {
+			r := loop % np
+			bdm.Get(p, local[r*m:(r+1)*m], in, r, 0)
+		}
+		p.Work(np * m)
+	}
+	p.Barrier()
+}
+
+// AllGather makes every processor hold the concatenation (ordered by rank)
+// of the first m elements of every processor's block of in, placed in its
+// block of out (p*m elements). It uses a circular schedule, costing
+// tau + (p-1)*m word-times per processor.
+func AllGather(p *bdm.Proc, out, in *bdm.Spread[uint32], m int) {
+	np := p.P()
+	i := p.Rank()
+	local := out.Local(p)
+	for loop := 0; loop < np; loop++ {
+		r := (i + loop) % np
+		bdm.Get(p, local[r*m:(r+1)*m], in, r, 0)
+	}
+	p.Work(np * m)
+	p.Barrier()
+}
+
+// ReduceSumToZero leaves, in processor 0's block of out, the element-wise
+// sum over all processors of the first m elements of in. It is implemented
+// as a direct circular collection followed by a local sum at processor 0,
+// which is the structure the histogramming algorithm uses for its final
+// combine when k >= p.
+func ReduceSumToZero(p *bdm.Proc, out, scratch, in *bdm.Spread[uint32], m int) {
+	np := p.P()
+	CollectToZero(p, scratch, in, m)
+	if p.Rank() == 0 {
+		local := out.Local(p)
+		gathered := scratch.Local(p)
+		for j := 0; j < m; j++ {
+			var s uint32
+			for r := 0; r < np; r++ {
+				s += gathered[r*m+j]
+			}
+			local[j] = s
+		}
+		p.Work(np * m)
+	}
+	p.Barrier()
+}

@@ -1,0 +1,324 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"parimg/internal/bdm"
+)
+
+var testCost = bdm.CostParams{
+	Name:       "test",
+	Tau:        1e-5,
+	SecPerWord: 1e-6,
+	SecPerOp:   1e-8,
+}
+
+func mustMachine(t testing.TB, p int) *bdm.Machine {
+	t.Helper()
+	m, err := bdm.NewMachine(p, testCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// fillMatrix stores A[c][e] = c*10000 + e for column c held by processor c.
+func fillMatrix(s *bdm.Spread[uint32], p, q int) {
+	for c := 0; c < p; c++ {
+		for e := 0; e < q; e++ {
+			s.Row(c)[e] = uint32(c*10000 + e)
+		}
+	}
+}
+
+func TestTransposeCorrect(t *testing.T) {
+	for _, tc := range []struct{ p, q int }{{2, 2}, {2, 8}, {4, 4}, {4, 16}, {8, 64}, {16, 64}} {
+		m := mustMachine(t, tc.p)
+		in := bdm.NewSpread[uint32](m, tc.q)
+		out := bdm.NewSpread[uint32](m, tc.q)
+		fillMatrix(in, tc.p, tc.q)
+		if _, err := m.Run(func(pr *bdm.Proc) {
+			Transpose(pr, out, in, tc.q)
+		}); err != nil {
+			t.Fatalf("p=%d q=%d: %v", tc.p, tc.q, err)
+		}
+		b := tc.q / tc.p
+		for i := 0; i < tc.p; i++ {
+			for r := 0; r < tc.p; r++ {
+				for e := 0; e < b; e++ {
+					got := out.Row(i)[r*b+e]
+					want := uint32(r*10000 + i*b + e)
+					if got != want {
+						t.Fatalf("p=%d q=%d: out[%d][%d*b+%d] = %d, want %d",
+							tc.p, tc.q, i, r, e, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeTwiceIsIdentity(t *testing.T) {
+	p, q := 8, 64
+	m := mustMachine(t, p)
+	in := bdm.NewSpread[uint32](m, q)
+	mid := bdm.NewSpread[uint32](m, q)
+	out := bdm.NewSpread[uint32](m, q)
+	fillMatrix(in, p, q)
+	if _, err := m.Run(func(pr *bdm.Proc) {
+		Transpose(pr, mid, in, q)
+		Transpose(pr, out, mid, q)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Transposing a q x p matrix twice returns the original only when
+	// the layout is square in blocks; with the paper's block layout the
+	// double transpose restores the original column distribution.
+	for c := 0; c < p; c++ {
+		for e := 0; e < q; e++ {
+			if out.Row(c)[e] != in.Row(c)[e] {
+				t.Fatalf("double transpose not identity at [%d][%d]: %d vs %d",
+					c, e, out.Row(c)[e], in.Row(c)[e])
+			}
+		}
+	}
+}
+
+func TestTransposeCost(t *testing.T) {
+	// Eq. (1): Tcomm = tau + (q - q/p) word-times per processor.
+	p, q := 8, 512
+	m := mustMachine(t, p)
+	in := bdm.NewSpread[uint32](m, q)
+	out := bdm.NewSpread[uint32](m, q)
+	rep, err := m.Run(func(pr *bdm.Proc) {
+		Transpose(pr, out, in, q)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testCost.Tau + float64(q-q/p)*testCost.SecPerWord
+	if math.Abs(rep.CommTime-want) > 1e-12 {
+		t.Errorf("CommTime = %g, want %g", rep.CommTime, want)
+	}
+}
+
+func TestTransposePanicsOnBadSize(t *testing.T) {
+	m := mustMachine(t, 4)
+	in := bdm.NewSpread[uint32](m, 6)
+	out := bdm.NewSpread[uint32](m, 6)
+	_, err := m.Run(func(pr *bdm.Proc) {
+		Transpose(pr, out, in, 6) // 4 does not divide 6
+	})
+	if err == nil {
+		t.Fatal("want abort error for q not divisible by p")
+	}
+}
+
+func TestBroadcastCorrect(t *testing.T) {
+	for _, tc := range []struct{ p, q, root int }{
+		{2, 4, 0}, {4, 16, 0}, {8, 64, 0}, {8, 64, 5}, {16, 16, 3},
+	} {
+		m := mustMachine(t, tc.p)
+		buf := bdm.NewSpread[uint32](m, tc.q)
+		scratch := bdm.NewSpread[uint32](m, tc.q)
+		for e := 0; e < tc.q; e++ {
+			buf.Row(tc.root)[e] = uint32(7000 + e)
+		}
+		if _, err := m.Run(func(pr *bdm.Proc) {
+			Broadcast(pr, buf, scratch, tc.q, tc.root)
+		}); err != nil {
+			t.Fatalf("p=%d q=%d root=%d: %v", tc.p, tc.q, tc.root, err)
+		}
+		for r := 0; r < tc.p; r++ {
+			for e := 0; e < tc.q; e++ {
+				if buf.Row(r)[e] != uint32(7000+e) {
+					t.Fatalf("p=%d q=%d root=%d: proc %d elem %d = %d",
+						tc.p, tc.q, tc.root, r, e, buf.Row(r)[e])
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastRoughlyTwiceTranspose(t *testing.T) {
+	// Section 2.4: "the Split-C broadcasting algorithm takes roughly
+	// twice the time of the Split-C matrix transpose algorithm."
+	p, q := 8, 4096
+	m := mustMachine(t, p)
+	in := bdm.NewSpread[uint32](m, q)
+	out := bdm.NewSpread[uint32](m, q)
+	repT, err := m.Run(func(pr *bdm.Proc) { Transpose(pr, out, in, q) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	scratch := bdm.NewSpread[uint32](m, q)
+	repB, err := m.Run(func(pr *bdm.Proc) { Broadcast(pr, out, scratch, q, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := repB.CommTime / repT.CommTime
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("broadcast/transpose comm ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestBroadcastNaiveCorrectAndCongested(t *testing.T) {
+	p, q := 8, 4096
+	m := mustMachine(t, p)
+	buf := bdm.NewSpread[uint32](m, q)
+	for e := 0; e < q; e++ {
+		buf.Row(0)[e] = uint32(e + 5)
+	}
+	repN, err := m.Run(func(pr *bdm.Proc) { BroadcastNaive(pr, buf, q, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		for e := 0; e < q; e++ {
+			if buf.Row(r)[e] != uint32(e+5) {
+				t.Fatalf("proc %d elem %d = %d", r, e, buf.Row(r)[e])
+			}
+		}
+	}
+	// The root's fan-out congestion makes the naive broadcast slower
+	// than Algorithm 2 for large payloads.
+	m2 := mustMachine(t, p)
+	buf2 := bdm.NewSpread[uint32](m2, q)
+	scratch := bdm.NewSpread[uint32](m2, q)
+	repA, err := m2.Run(func(pr *bdm.Proc) { Broadcast(pr, buf2, scratch, q, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repN.SimTime < 2*repA.SimTime {
+		t.Errorf("naive broadcast %.4g not clearly slower than Algorithm 2 %.4g",
+			repN.SimTime, repA.SimTime)
+	}
+}
+
+func TestTruncatedTranspose(t *testing.T) {
+	p, k := 8, 4
+	m := mustMachine(t, p)
+	in := bdm.NewSpread[uint32](m, k)
+	out := bdm.NewSpread[uint32](m, p)
+	// in.Row(j)[i] = element (i, j) of the k x p matrix.
+	for j := 0; j < p; j++ {
+		for i := 0; i < k; i++ {
+			in.Row(j)[i] = uint32(i*100 + j)
+		}
+	}
+	if _, err := m.Run(func(pr *bdm.Proc) {
+		TruncatedTranspose(pr, out, in, k)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < p; j++ {
+			if out.Row(i)[j] != uint32(i*100+j) {
+				t.Fatalf("row %d elem %d = %d, want %d", i, j, out.Row(i)[j], i*100+j)
+			}
+		}
+	}
+}
+
+func TestCollectToZero(t *testing.T) {
+	p, mlen := 8, 5
+	m := mustMachine(t, p)
+	in := bdm.NewSpread[uint32](m, mlen)
+	out := bdm.NewSpread[uint32](m, p*mlen)
+	for r := 0; r < p; r++ {
+		for e := 0; e < mlen; e++ {
+			in.Row(r)[e] = uint32(r*1000 + e)
+		}
+	}
+	if _, err := m.Run(func(pr *bdm.Proc) {
+		CollectToZero(pr, out, in, mlen)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		for e := 0; e < mlen; e++ {
+			if out.Row(0)[r*mlen+e] != uint32(r*1000+e) {
+				t.Fatalf("collected[%d][%d] = %d", r, e, out.Row(0)[r*mlen+e])
+			}
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	p, mlen := 4, 3
+	m := mustMachine(t, p)
+	in := bdm.NewSpread[uint32](m, mlen)
+	out := bdm.NewSpread[uint32](m, p*mlen)
+	for r := 0; r < p; r++ {
+		for e := 0; e < mlen; e++ {
+			in.Row(r)[e] = uint32(r*10 + e)
+		}
+	}
+	if _, err := m.Run(func(pr *bdm.Proc) {
+		AllGather(pr, out, in, mlen)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for dst := 0; dst < p; dst++ {
+		for r := 0; r < p; r++ {
+			for e := 0; e < mlen; e++ {
+				if out.Row(dst)[r*mlen+e] != uint32(r*10+e) {
+					t.Fatalf("proc %d gathered[%d][%d] = %d", dst, r, e, out.Row(dst)[r*mlen+e])
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSumToZero(t *testing.T) {
+	p, mlen := 8, 4
+	m := mustMachine(t, p)
+	in := bdm.NewSpread[uint32](m, mlen)
+	scratch := bdm.NewSpread[uint32](m, p*mlen)
+	out := bdm.NewSpread[uint32](m, mlen)
+	for r := 0; r < p; r++ {
+		for e := 0; e < mlen; e++ {
+			in.Row(r)[e] = uint32(r + e)
+		}
+	}
+	if _, err := m.Run(func(pr *bdm.Proc) {
+		ReduceSumToZero(pr, out, scratch, in, mlen)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < mlen; e++ {
+		want := uint32(0)
+		for r := 0; r < p; r++ {
+			want += uint32(r + e)
+		}
+		if out.Row(0)[e] != want {
+			t.Fatalf("sum[%d] = %d, want %d", e, out.Row(0)[e], want)
+		}
+	}
+}
+
+func TestBandwidthApproachesCeiling(t *testing.T) {
+	// Figures 6-9: for large blocks the attained per-processor
+	// bandwidth approaches 4 bytes / SecPerWord.
+	p := 8
+	for _, q := range []int{64, 4096, 262144} {
+		m := mustMachine(t, p)
+		in := bdm.NewSpread[uint32](m, q)
+		out := bdm.NewSpread[uint32](m, q)
+		rep, err := m.Run(func(pr *bdm.Proc) { Transpose(pr, out, in, q) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytes := float64(q-q/p) * 4
+		bw := bytes / rep.CommTime / 1e6
+		ceiling := testCost.BandwidthMBps()
+		if bw > ceiling {
+			t.Errorf("q=%d: bandwidth %.2f exceeds ceiling %.2f", q, bw, ceiling)
+		}
+		if q == 262144 && bw < 0.95*ceiling {
+			t.Errorf("q=%d: bandwidth %.2f too far below ceiling %.2f", q, bw, ceiling)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package graph provides the adjacency-list graph and the sequential
+// breadth-first-search connected components solver that the merge phase of
+// the paper's algorithm runs on border pixels (Section 5.3: "The merging
+// problem is converted into finding the connected components of a graph
+// represented by the border pixels").
+package graph
+
+// Graph is a simple undirected graph on vertices 0..N-1 using adjacency
+// lists. The maximum degree in the merge graphs is five (two same-label
+// list edges plus up to three cross-border edges), so lists stay tiny.
+type Graph struct {
+	adj [][]int32
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// Reset resizes the graph to n vertices, reusing storage.
+func (g *Graph) Reset(n int) {
+	if cap(g.adj) >= n {
+		g.adj = g.adj[:n]
+		for i := range g.adj {
+			g.adj[i] = g.adj[i][:0]
+		}
+		return
+	}
+	g.adj = make([][]int32, n)
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return len(g.adj) }
+
+// AddEdge inserts the undirected edge (u, v). Self-loops are ignored;
+// parallel edges are permitted (BFS tolerates them).
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+}
+
+// Degree returns the degree of vertex u (counting parallel edges).
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Components labels each vertex with a component id in 0..c-1 using
+// breadth-first search and returns (ids, c). Runs in O(|V| + |E|).
+func (g *Graph) Components() ([]int32, int) {
+	n := len(g.adj)
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	c := 0
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = int32(c)
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if comp[v] < 0 {
+					comp[v] = int32(c)
+					queue = append(queue, v)
+				}
+			}
+		}
+		c++
+	}
+	return comp, c
+}
+
+// MinLabelPerComponent returns, for a labeling of the vertices, the minimum
+// vertex label within each component: reps[c] = min over vertices v in
+// component c of labels[v]. ids and count must come from Components.
+func MinLabelPerComponent(ids []int32, count int, labels []uint32) []uint32 {
+	reps := make([]uint32, count)
+	for i := range reps {
+		reps[i] = ^uint32(0)
+	}
+	for v, c := range ids {
+		if labels[v] < reps[c] {
+			reps[c] = labels[v]
+		}
+	}
+	return reps
+}

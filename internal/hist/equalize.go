@@ -1,0 +1,152 @@
+package hist
+
+import (
+	"fmt"
+
+	"parimg/internal/bdm"
+	"parimg/internal/comm"
+	"parimg/internal/image"
+)
+
+// EqualizeResult is the outcome of a parallel histogram equalization.
+type EqualizeResult struct {
+	// Image is the equalized image.
+	Image *image.Image
+	// H is the histogram of the input image.
+	H []int64
+	// Report carries the modeled execution costs of the whole pipeline
+	// (histogram + map construction + broadcast + application).
+	Report bdm.Report
+}
+
+// Equalize runs the paper's motivating application of Section 4 end to end
+// on the simulated machine: histogram the image in parallel, build the
+// equalization map on processor 0, broadcast it to all processors with the
+// two-transposition broadcast of Algorithm 2, and remap every tile
+// locally. Background (grey 0) is preserved. The total cost is
+// Tcomm = O(tau + k) and Tcomp = O(n^2/p + k), the same shape as
+// histogramming itself.
+func Equalize(m *bdm.Machine, im *image.Image, k int) (*EqualizeResult, error) {
+	if k < 2 || k&(k-1) != 0 {
+		return nil, fmt.Errorf("hist: k must be a power of two >= 2, got %d", k)
+	}
+	lay, err := image.NewLayout(im.N, m.P())
+	if err != nil {
+		return nil, fmt.Errorf("hist: %w", err)
+	}
+	if int(im.MaxGrey()) >= k {
+		return nil, fmt.Errorf("hist: image has grey level %d outside [0,%d)", im.MaxGrey(), k)
+	}
+
+	p := m.P()
+	tilePix := lay.Q * lay.R
+	tiles := bdm.NewSpread[uint32](m, tilePix)
+	outTiles := bdm.NewSpread[uint32](m, tilePix)
+	for rank := 0; rank < p; rank++ {
+		lay.Scatter(im, rank, tiles.Row(rank))
+	}
+
+	local := bdm.NewSpread[uint32](m, k)
+	trans := bdm.NewSpread[uint32](m, max(k, p))
+	combined := bdm.NewSpread[uint32](m, max(k/p, 1))
+	hOut := bdm.NewSpread[uint32](m, max(k, p))
+
+	// The broadcast payload must be a multiple of p; pad the LUT.
+	lutLen := k
+	if lutLen < p {
+		lutLen = p
+	}
+	lut := bdm.NewSpread[uint32](m, lutLen)
+	scratch := bdm.NewSpread[uint32](m, lutLen)
+
+	m.Reset()
+	report, err := m.Run(func(pr *bdm.Proc) {
+		// Phase 1: the histogramming algorithm of Section 4.
+		runProc(pr, lay, k, tiles, local, trans, combined, hOut)
+		pr.Barrier()
+
+		// Phase 2: processor 0 builds the equalization map in O(k).
+		if pr.Rank() == 0 {
+			h := hOut.Local(pr)[:k]
+			var fg int64
+			for g := 1; g < k; g++ {
+				fg += int64(h[g])
+			}
+			l := lut.Local(pr)
+			l[0] = 0
+			var cum int64
+			for g := 1; g < k; g++ {
+				if fg == 0 {
+					l[g] = uint32(g)
+					continue
+				}
+				cum += int64(h[g])
+				l[g] = uint32(1 + (int64(k-2)*cum+fg/2)/fg)
+			}
+			pr.Work(2 * k)
+		}
+		pr.Barrier()
+
+		// Phase 3: broadcast the map with Algorithm 2.
+		comm.Broadcast(pr, lut, scratch, lutLen, 0)
+
+		// Phase 4: every processor remaps its tile locally.
+		src := tiles.Local(pr)
+		dst := outTiles.Local(pr)
+		l := lut.Local(pr)
+		for i, v := range src {
+			dst[i] = l[v]
+		}
+		pr.Work(2 * len(src))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := image.New(im.N)
+	outLabels := &image.Labels{N: im.N, Lab: out.Pix}
+	for rank := 0; rank < p; rank++ {
+		lay.GatherLabels(outLabels, rank, outTiles.Row(rank))
+	}
+	h := make([]int64, k)
+	for i, v := range hOut.Row(0)[:k] {
+		h[i] = int64(v)
+	}
+	return &EqualizeResult{Image: out, H: h, Report: report}, nil
+}
+
+// OtsuThreshold returns the grey level t that maximizes the between-class
+// variance of the histogram's foreground levels (1..k-1): pixels with grey
+// level >= t form the bright class. Thresholding an image at t and running
+// binary connected components is the classic segmentation front end the
+// paper's recognition benchmarks build on. Returns 1 for degenerate
+// histograms.
+func OtsuThreshold(h []int64) int {
+	k := len(h)
+	var total, sum int64
+	for g := 1; g < k; g++ {
+		total += h[g]
+		sum += int64(g) * h[g]
+	}
+	if total == 0 {
+		return 1
+	}
+	var wB, sumB int64 // weight and grey-sum of the class below t
+	best, bestT := -1.0, 1
+	for t := 2; t < k; t++ {
+		wB += h[t-1]
+		sumB += int64(t-1) * h[t-1]
+		wF := total - wB
+		if wB == 0 || wF == 0 {
+			continue
+		}
+		mB := float64(sumB) / float64(wB)
+		mF := float64(sum-sumB) / float64(wF)
+		between := float64(wB) * float64(wF) * (mB - mF) * (mB - mF)
+		if between > best {
+			best = between
+			bestT = t
+		}
+	}
+	return bestT
+}

@@ -1,0 +1,161 @@
+// Package hist implements the parallel image histogramming algorithm of
+// Section 4 of the paper on the bdm runtime.
+//
+// Given an n x n image with k grey levels on p processors, the algorithm
+//
+//  1. tallies each processor's q x r tile into a local array Hi[0..k-1],
+//  2. rearranges the k x p array of tallies so all counts of a grey level
+//     meet on one processor — a truncated transpose when k < p, a transpose
+//     of k/p rows per processor when k >= p,
+//  3. combines the tallies locally in O(k) operations, and
+//  4. collects the k histogram bars onto processor 0 with the circular
+//     data movement of Section 2.
+//
+// The complexities are Tcomm <= 2(tau + k) and Tcomp = O(n^2/p + k),
+// Eq. (3): for fixed p and k the communication cost is independent of the
+// problem size, so local computation dominates as n grows.
+package hist
+
+import (
+	"fmt"
+
+	"parimg/internal/bdm"
+	"parimg/internal/comm"
+	"parimg/internal/image"
+	"parimg/internal/seq"
+)
+
+// opsPerPixelTally is the abstract operation count charged per pixel in the
+// local tally loop (load pixel, index bucket, increment). Machine profiles
+// are calibrated against Table 1 with this constant; see package machine.
+const opsPerPixelTally = 3
+
+// Result is the outcome of a parallel histogramming run.
+type Result struct {
+	// H is the k-bar histogram held by processor 0: H[i] is the number
+	// of pixels with grey level i.
+	H []int64
+	// Report is the simulated-cost report of the run.
+	Report bdm.Report
+}
+
+// Run histograms im with k grey levels on machine m. k must be a power of
+// two (the paper's assumption, w.l.o.g.); the image must tile evenly on
+// m.P() processors. The image distribution (each processor receiving its
+// tile) is performed outside the timed region, as the paper assumes the
+// image is already distributed.
+func Run(m *bdm.Machine, im *image.Image, k int) (*Result, error) {
+	if k < 2 || k&(k-1) != 0 {
+		return nil, fmt.Errorf("hist: k must be a power of two >= 2, got %d", k)
+	}
+	lay, err := image.NewLayout(im.N, m.P())
+	if err != nil {
+		return nil, fmt.Errorf("hist: %w", err)
+	}
+	if int(im.MaxGrey()) >= k {
+		return nil, fmt.Errorf("hist: image has grey level %d outside [0,%d)", im.MaxGrey(), k)
+	}
+
+	p := m.P()
+	tilePix := lay.Q * lay.R
+	tiles := bdm.NewSpread[uint32](m, tilePix)
+	for rank := 0; rank < p; rank++ {
+		lay.Scatter(im, rank, tiles.Row(rank))
+	}
+
+	local := bdm.NewSpread[uint32](m, k) // Hi: per-processor tallies
+	// trans holds k/p rows of the k x p tally matrix when k >= p, or one
+	// whole row (p elements) when k < p.
+	trans := bdm.NewSpread[uint32](m, max(k, p))
+	combined := bdm.NewSpread[uint32](m, max(k/p, 1))
+	// out row 0 receives the final histogram; the collection needs
+	// max(k, p) slots because when k < p it reads one word from every
+	// processor.
+	out := bdm.NewSpread[uint32](m, max(k, p))
+
+	m.Reset()
+	report, err := m.Run(func(pr *bdm.Proc) {
+		runProc(pr, lay, k, tiles, local, trans, combined, out)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	h := make([]int64, k)
+	for i, v := range out.Row(0)[:k] {
+		h[i] = int64(v)
+	}
+	return &Result{H: h, Report: report}, nil
+}
+
+// runProc is the SPMD body: the per-processor program of the algorithm.
+func runProc(pr *bdm.Proc, lay image.Layout, k int,
+	tiles, local, trans, combined, out *bdm.Spread[uint32]) {
+	p := pr.P()
+
+	// Step 1: local tally of the q x r subimage into Hi[0..k-1].
+	hi := local.Local(pr)
+	for i := range hi {
+		hi[i] = 0
+	}
+	if err := seq.Histogram(tiles.Local(pr), hi); err != nil {
+		panic(err)
+	}
+	pr.Work(opsPerPixelTally * lay.Q * lay.R)
+	pr.Barrier()
+
+	// Step 2: rearrange so each grey level's tallies meet on one
+	// processor.
+	if k < p {
+		// Truncated transpose: row i (all tallies of grey level i)
+		// lands on processor i, for i < k.
+		comm.TruncatedTranspose(pr, trans, local, k)
+		if pr.Rank() < k {
+			var s uint32
+			for r := 0; r < p; r++ {
+				s += trans.Local(pr)[r]
+			}
+			combined.Local(pr)[0] = s
+			pr.Work(p)
+		}
+		pr.Barrier()
+		// Step 4: collect the k single bars onto processor 0. Only
+		// the first k processors hold data; the circular collection
+		// reads one word from everyone and processor 0 keeps the
+		// first k.
+		comm.CollectToZero(pr, out, combined, 1)
+		return
+	}
+
+	// k >= p: transpose k/p rows of the local histograms into each
+	// processor, so processor i holds all intermediate sums for grey
+	// levels [i*k/p, (i+1)*k/p).
+	b := k / p
+	comm.Transpose(pr, trans, local, k)
+	// Step 3: local combination in O(k) operations. After the
+	// transpose, processor i's block holds p sub-blocks of b values;
+	// sub-block r contains processor r's tallies of this processor's
+	// grey-level range.
+	cmb := combined.Local(pr)
+	tr := trans.Local(pr)
+	for t := 0; t < b; t++ {
+		var s uint32
+		for r := 0; r < p; r++ {
+			s += tr[r*b+t]
+		}
+		cmb[t] = s
+	}
+	pr.Work(k)
+	pr.Barrier()
+
+	// Step 4: processor 0 prefetches the combined bars with a circular
+	// data movement; bars arrive ordered by rank, i.e. by grey level.
+	comm.CollectToZero(pr, out, combined, b)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

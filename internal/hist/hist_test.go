@@ -1,0 +1,193 @@
+package hist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parimg/internal/bdm"
+	"parimg/internal/image"
+	"parimg/internal/machine"
+)
+
+// quickCheck runs a property with a bounded iteration count.
+func quickCheck(f interface{}) error {
+	return quick.Check(f, &quick.Config{MaxCount: 40})
+}
+
+func mustMachine(t testing.TB, p int) *bdm.Machine {
+	t.Helper()
+	m, err := bdm.NewMachine(p, machine.CM5)
+	if err != nil {
+		t.Fatalf("NewMachine(%d): %v", p, err)
+	}
+	return m
+}
+
+func checkAgainstSequential(t *testing.T, im *image.Image, k, p int) {
+	t.Helper()
+	m := mustMachine(t, p)
+	res, err := Run(m, im, k)
+	if err != nil {
+		t.Fatalf("Run(n=%d k=%d p=%d): %v", im.N, k, p, err)
+	}
+	want, err := im.Histogram(k)
+	if err != nil {
+		t.Fatalf("sequential histogram: %v", err)
+	}
+	var sum int64
+	for i := range want {
+		if res.H[i] != want[i] {
+			t.Fatalf("n=%d k=%d p=%d: H[%d]=%d, want %d", im.N, k, p, i, res.H[i], want[i])
+		}
+		sum += res.H[i]
+	}
+	if sum != int64(im.N)*int64(im.N) {
+		t.Fatalf("n=%d k=%d p=%d: histogram sums to %d, want n^2=%d", im.N, k, p, sum, im.N*im.N)
+	}
+}
+
+func TestRunMatchesSequentialAcrossPandK(t *testing.T) {
+	for _, n := range []int{16, 32, 64} {
+		for _, p := range []int{1, 2, 4, 8, 16} {
+			for _, k := range []int{2, 4, 32, 256} {
+				im := image.RandomGrey(n, k, uint64(n*1000+p*10+k))
+				checkAgainstSequential(t, im, k, p)
+			}
+		}
+	}
+}
+
+func TestRunKSmallerThanP(t *testing.T) {
+	// Exercises the truncated-transpose path specifically: k < p.
+	im := image.RandomGrey(64, 4, 7)
+	checkAgainstSequential(t, im, 4, 16)
+	checkAgainstSequential(t, im, 8, 16)
+}
+
+func TestRunKEqualP(t *testing.T) {
+	im := image.RandomGrey(64, 16, 9)
+	checkAgainstSequential(t, im, 16, 16)
+}
+
+func TestRunPatternImages(t *testing.T) {
+	for _, id := range image.AllPatterns() {
+		im := image.Generate(id, 64)
+		checkAgainstSequential(t, im, 2, 16)
+	}
+}
+
+func TestRunDARPAScene(t *testing.T) {
+	im := image.DARPAScene(128, 256, 42)
+	checkAgainstSequential(t, im, 256, 16)
+}
+
+func TestRunRejectsBadK(t *testing.T) {
+	im := image.RandomGrey(32, 4, 1)
+	m := mustMachine(t, 4)
+	for _, k := range []int{0, 1, 3, 12, 100} {
+		if _, err := Run(m, im, k); err == nil {
+			t.Errorf("Run with k=%d: want error, got nil", k)
+		}
+	}
+}
+
+func TestRunRejectsOutOfRangeGrey(t *testing.T) {
+	im := image.RandomGrey(32, 256, 1)
+	m := mustMachine(t, 4)
+	if _, err := Run(m, im, 16); err == nil {
+		t.Error("Run with grey levels above k: want error, got nil")
+	}
+}
+
+func TestQuickHistogramMatchesSequential(t *testing.T) {
+	f := func(seed uint64, pSel, kSel uint8) bool {
+		ps := []int{1, 2, 4, 8, 16, 32}
+		ks := []int{2, 8, 64, 256}
+		p := ps[int(pSel)%len(ps)]
+		k := ks[int(kSel)%len(ks)]
+		im := image.RandomGrey(32, k, seed)
+		m, err := bdm.NewMachine(p, machine.CM5)
+		if err != nil {
+			return false
+		}
+		res, err := Run(m, im, k)
+		if err != nil {
+			return false
+		}
+		want, err := im.Histogram(k)
+		if err != nil {
+			return false
+		}
+		for g := range want {
+			if res.H[g] != want[g] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quickCheck(f); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommIndependentOfN(t *testing.T) {
+	// Eq. (3): for fixed p and k, Tcomm is independent of the problem
+	// size. Communication time should not grow with n.
+	k, p := 256, 16
+	var prev float64
+	for idx, n := range []int{64, 128, 256} {
+		im := image.RandomGrey(n, k, uint64(n))
+		m := mustMachine(t, p)
+		res, err := Run(m, im, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx > 0 && res.Report.CommTime > prev*1.01 {
+			t.Errorf("comm time grew with n: n=%d comm=%g, previous %g", n, res.Report.CommTime, prev)
+		}
+		prev = res.Report.CommTime
+	}
+}
+
+func TestCompScalesWithN2(t *testing.T) {
+	// Tcomp = O(n^2/p + k): quadrupling the pixels should roughly
+	// quadruple computation time for large n.
+	k, p := 32, 16
+	im1 := image.RandomGrey(128, k, 3)
+	im2 := image.RandomGrey(256, k, 3)
+	m := mustMachine(t, p)
+	r1, err := Run(m, im1, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(m, im2, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r2.Report.CompTime / r1.Report.CompTime
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("comp time ratio for 4x pixels = %.2f, want ~4", ratio)
+	}
+}
+
+func TestDoublingPHalvesTime(t *testing.T) {
+	// Figure 3: when the number of processors doubles, the running time
+	// approximately halves (large n).
+	k := 256
+	im := image.RandomGrey(512, k, 5)
+	var prev float64
+	for idx, p := range []int{4, 8, 16} {
+		m := mustMachine(t, p)
+		res, err := Run(m, im, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx > 0 {
+			ratio := prev / res.Report.SimTime
+			if ratio < 1.6 || ratio > 2.4 {
+				t.Errorf("p=%d: speedup over previous p = %.2f, want ~2", p, ratio)
+			}
+		}
+		prev = res.Report.SimTime
+	}
+}

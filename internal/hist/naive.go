@@ -1,0 +1,68 @@
+package hist
+
+import (
+	"fmt"
+
+	"parimg/internal/bdm"
+	"parimg/internal/comm"
+	"parimg/internal/image"
+	"parimg/internal/seq"
+)
+
+// RunNaive histograms im without the paper's transpose-based rearrangement:
+// after the local tallies, processor 0 simply pulls every processor's whole
+// k-bar array and sums them itself.
+//
+// The result is identical to Run's, but the communication is
+// Tcomm = tau + (p-1)*k at processor 0 (serialized fan-in, growing with p)
+// instead of the transpose algorithm's 2(tau + k) (independent of p), and
+// the final combine is O(p*k) on one processor instead of O(k) spread over
+// all. This is the ablation for the paper's "rearrange so the tallies of
+// each grey level reside on the same processor" design (Section 4); see
+// BenchmarkAblationHistCollect.
+func RunNaive(m *bdm.Machine, im *image.Image, k int) (*Result, error) {
+	if k < 2 || k&(k-1) != 0 {
+		return nil, fmt.Errorf("hist: k must be a power of two >= 2, got %d", k)
+	}
+	lay, err := image.NewLayout(im.N, m.P())
+	if err != nil {
+		return nil, fmt.Errorf("hist: %w", err)
+	}
+	if int(im.MaxGrey()) >= k {
+		return nil, fmt.Errorf("hist: image has grey level %d outside [0,%d)", im.MaxGrey(), k)
+	}
+
+	p := m.P()
+	tiles := bdm.NewSpread[uint32](m, lay.Q*lay.R)
+	for rank := 0; rank < p; rank++ {
+		lay.Scatter(im, rank, tiles.Row(rank))
+	}
+	local := bdm.NewSpread[uint32](m, k)
+	gathered := bdm.NewSpread[uint32](m, p*k)
+	out := bdm.NewSpread[uint32](m, k)
+
+	m.Reset()
+	report, err := m.Run(func(pr *bdm.Proc) {
+		hi := local.Local(pr)
+		for i := range hi {
+			hi[i] = 0
+		}
+		if err := seq.Histogram(tiles.Local(pr), hi); err != nil {
+			panic(err)
+		}
+		pr.Work(opsPerPixelTally * lay.Q * lay.R)
+		pr.Barrier()
+
+		// Processor 0 collects every whole histogram and combines.
+		comm.ReduceSumToZero(pr, out, gathered, local, k)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	h := make([]int64, k)
+	for i, v := range out.Row(0)[:k] {
+		h[i] = int64(v)
+	}
+	return &Result{H: h, Report: report}, nil
+}

@@ -1,0 +1,73 @@
+package hist
+
+import (
+	"testing"
+
+	"parimg/internal/bdm"
+	"parimg/internal/image"
+	"parimg/internal/machine"
+)
+
+func TestRunNaiveMatchesRun(t *testing.T) {
+	for _, p := range []int{1, 4, 16} {
+		for _, k := range []int{4, 256} {
+			im := image.RandomGrey(64, k, uint64(p+k))
+			m := mustMachine(t, p)
+			a, err := Run(m, im, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunNaive(m, im, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for g := range a.H {
+				if a.H[g] != b.H[g] {
+					t.Fatalf("p=%d k=%d: bar %d differs: %d vs %d", p, k, g, a.H[g], b.H[g])
+				}
+			}
+		}
+	}
+}
+
+func TestNaiveCommGrowsWithP(t *testing.T) {
+	// The ablation's point: the naive fan-in communication grows with p
+	// while the transpose algorithm's stays flat (Eq. (3)).
+	k := 256
+	im := image.RandomGrey(256, k, 3)
+	commAt := func(naive bool, p int) float64 {
+		m, err := bdm.NewMachine(p, machine.CM5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res *Result
+		if naive {
+			res, err = RunNaive(m, im, k)
+		} else {
+			res, err = Run(m, im, k)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report.CommTime
+	}
+	if r := commAt(true, 64) / commAt(true, 4); r < 4 {
+		t.Errorf("naive comm grew only %.2fx from p=4 to p=64, want >4x", r)
+	}
+	if r := commAt(false, 64) / commAt(false, 4); r > 1.5 {
+		t.Errorf("transpose-based comm grew %.2fx from p=4 to p=64, want ~flat", r)
+	}
+	if commAt(true, 64) < 2*commAt(false, 64) {
+		t.Error("naive collection should cost much more than the transpose at p=64")
+	}
+}
+
+func TestRunNaiveValidation(t *testing.T) {
+	m := mustMachine(t, 4)
+	if _, err := RunNaive(m, image.RandomGrey(32, 4, 1), 3); err == nil {
+		t.Error("bad k: want error")
+	}
+	if _, err := RunNaive(m, image.RandomGrey(32, 256, 1), 16); err == nil {
+		t.Error("grey out of range: want error")
+	}
+}

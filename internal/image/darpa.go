@@ -1,0 +1,103 @@
+package image
+
+// DARPASynthetic is a deterministic 512 x 512, 256 grey-level stand-in for
+// the Second DARPA Image Understanding Benchmark image of Figure 2 (a
+// "2.5-D mobile": shapes suspended from link bars), which is not
+// redistributable. The scene is a recursive mobile: a trunk bar splits into
+// hanging arms ending in rectangles and discs, each piece at its own grey
+// level, over many scattered small distractor objects — giving a component
+// census (hundreds of components at widely varying sizes and many distinct
+// grey levels) of the same order as the benchmark image, which is what
+// drives the cost of grey-scale connected components.
+func DARPASynthetic() *Image {
+	return DARPAScene(512, 256, 1994)
+}
+
+// DARPAScene renders the synthetic mobile scene at side n with k grey
+// levels, deterministically from seed.
+func DARPAScene(n, k int, seed uint64) *Image {
+	im := New(n)
+	r := newRNG(seed)
+	grey := func() uint32 {
+		// Avoid 0 (background); spread across the full range.
+		return uint32(1 + r.Intn(k-1))
+	}
+
+	// Scattered distractor objects first, so the mobile overwrites them
+	// where they overlap (the benchmark scene has occlusion).
+	nBlobs := n * n / 2048
+	for b := 0; b < nBlobs; b++ {
+		g := grey()
+		h := 2 + r.Intn(n/32)
+		w := 2 + r.Intn(n/32)
+		r0 := r.Intn(n - h)
+		c0 := r.Intn(n - w)
+		if r.Intn(2) == 0 {
+			im.fillRect(r0, c0, h, w, g)
+		} else {
+			rad := (h + w) / 4
+			if rad < 1 {
+				rad = 1
+			}
+			im.fillDisc(r0+h/2, c0+w/2, rad, g)
+		}
+	}
+
+	// The mobile: recursive arms from a top anchor.
+	var mobile func(row, col, span, depth int)
+	mobile = func(row, col, span, depth int) {
+		if depth == 0 || span < n/32 {
+			// Leaf: a hanging rectangle or disc.
+			g := grey()
+			sz := n/24 + r.Intn(n/24)
+			if r.Intn(2) == 0 {
+				im.fillRect(row, col-sz/2, sz, sz, g)
+			} else {
+				im.fillDisc(row+sz/2, col, sz/2, g)
+			}
+			return
+		}
+		// Crossbar with two hanging strings.
+		bar := grey()
+		im.fillRect(row, col-span/2, n/128+1, span, bar)
+		drop := n/16 + r.Intn(n/16)
+		str := grey()
+		im.fillRect(row, col-span/2, drop, n/128+1, str)
+		im.fillRect(row, col+span/2-(n/128+1), drop, n/128+1, str)
+		mobile(row+drop, col-span/2, span/2, depth-1)
+		mobile(row+drop, col+span/2, span/2, depth-1)
+	}
+	mobile(n/16, n/2, n/2, 4)
+	return im
+}
+
+func (im *Image) fillRect(r0, c0, h, w int, g uint32) {
+	for i := r0; i < r0+h; i++ {
+		if i < 0 || i >= im.N {
+			continue
+		}
+		for j := c0; j < c0+w; j++ {
+			if j < 0 || j >= im.N {
+				continue
+			}
+			im.Pix[i*im.N+j] = g
+		}
+	}
+}
+
+func (im *Image) fillDisc(ci, cj, rad int, g uint32) {
+	for i := ci - rad; i <= ci+rad; i++ {
+		if i < 0 || i >= im.N {
+			continue
+		}
+		for j := cj - rad; j <= cj+rad; j++ {
+			if j < 0 || j >= im.N {
+				continue
+			}
+			di, dj := i-ci, j-cj
+			if di*di+dj*dj <= rad*rad {
+				im.Pix[i*im.N+j] = g
+			}
+		}
+	}
+}

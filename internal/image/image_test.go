@@ -1,0 +1,358 @@
+package image
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	im := New(4)
+	if im.N != 4 || len(im.Pix) != 16 {
+		t.Fatalf("New(4): N=%d len=%d", im.N, len(im.Pix))
+	}
+	im.Set(1, 2, 9)
+	if im.At(1, 2) != 9 {
+		t.Errorf("At(1,2) = %d", im.At(1, 2))
+	}
+	if im.Pix[1*4+2] != 9 {
+		t.Error("Set did not write row-major")
+	}
+}
+
+func TestNewPanicsOnBadSide(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d): want panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	im := New(2)
+	im.Set(0, 0, 5)
+	c := im.Clone()
+	c.Set(0, 0, 7)
+	if im.At(0, 0) != 5 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMaxGreyAndCountForeground(t *testing.T) {
+	im := New(3)
+	if im.MaxGrey() != 0 || im.CountForeground() != 0 {
+		t.Error("empty image stats wrong")
+	}
+	im.Set(0, 0, 3)
+	im.Set(2, 2, 250)
+	if im.MaxGrey() != 250 {
+		t.Errorf("MaxGrey = %d", im.MaxGrey())
+	}
+	if im.CountForeground() != 2 {
+		t.Errorf("CountForeground = %d", im.CountForeground())
+	}
+}
+
+func TestHistogramSumsToN2(t *testing.T) {
+	for _, gen := range []*Image{
+		RandomGrey(32, 16, 1),
+		RandomBinary(32, 0.5, 2),
+		DARPAScene(64, 256, 3),
+	} {
+		h, err := gen.Histogram(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		for _, v := range h {
+			sum += v
+		}
+		if sum != int64(gen.N)*int64(gen.N) {
+			t.Errorf("histogram sums to %d, want %d", sum, gen.N*gen.N)
+		}
+	}
+}
+
+func TestHistogramRejectsOverflow(t *testing.T) {
+	im := New(2)
+	im.Set(0, 0, 4)
+	if _, err := im.Histogram(4); err == nil {
+		t.Error("want error for grey >= k")
+	}
+}
+
+func TestPatternAreas(t *testing.T) {
+	// For regular patterns the foreground area is analytically known
+	// ("for regular patterns it is easy to verify that each H[i]/n^2
+	// equals the percentage of area that grey level i covers").
+	n := 256
+	// Horizontal bars with thickness t alternate fg/bg from row 0:
+	// rows with (i/t)%2==0 are foreground.
+	tthick := PatternThickness(n)
+	wantRows := 0
+	for i := 0; i < n; i++ {
+		if (i/tthick)%2 == 0 {
+			wantRows++
+		}
+	}
+	if got := GenHorizontalBars(n).CountForeground(); got != wantRows*n {
+		t.Errorf("horizontal bars area = %d, want %d", got, wantRows*n)
+	}
+	if got := GenVerticalBars(n).CountForeground(); got != wantRows*n {
+		t.Errorf("vertical bars area = %d, want %d", got, wantRows*n)
+	}
+	// The four squares cover exactly 4*(n/4)^2 pixels.
+	if got := GenFourSquares(n).CountForeground(); got != 4*(n/4)*(n/4) {
+		t.Errorf("four squares area = %d, want %d", got, 4*(n/4)*(n/4))
+	}
+	// The filled disc approximates pi*r^2 within 2%.
+	r := 3.0 * float64(n) / 8.0
+	want := 3.14159265 * r * r
+	got := float64(GenFilledDisc(n).CountForeground())
+	if got < 0.98*want || got > 1.02*want {
+		t.Errorf("disc area = %g, want ~%g", got, want)
+	}
+}
+
+func TestPatternsAreBinaryAndNonTrivial(t *testing.T) {
+	for _, id := range AllPatterns() {
+		for _, n := range []int{8, 64, 128} {
+			im := Generate(id, n)
+			if im.N != n {
+				t.Fatalf("%v: side %d", id, im.N)
+			}
+			fg := 0
+			for _, v := range im.Pix {
+				if v > 1 {
+					t.Fatalf("%v: non-binary pixel %d", id, v)
+				}
+				if v == 1 {
+					fg++
+				}
+			}
+			if fg == 0 || fg == n*n {
+				t.Errorf("%v at n=%d: degenerate foreground count %d", id, n, fg)
+			}
+		}
+	}
+}
+
+func TestAugmentedVsScaledSemantics(t *testing.T) {
+	// Section 3: images 1-4, 7 and 9 are augmented (fixed feature size,
+	// so doubling n doubles the number of stripes), while 5, 6 and 8
+	// are scaled (component structure independent of n).
+	countStripes := func(n int) int {
+		im := GenHorizontalBars(n)
+		stripes := 0
+		prev := uint32(0)
+		for i := 0; i < n; i++ {
+			v := im.At(i, 0)
+			if v == 1 && prev == 0 {
+				stripes++
+			}
+			prev = v
+		}
+		return stripes
+	}
+	s256, s512 := countStripes(256), countStripes(512)
+	if s512 != 2*s256 {
+		t.Errorf("augmented bars: %d stripes at 256, %d at 512; want doubling", s256, s512)
+	}
+	// Scaled images: same structure at every size.
+	for _, n := range []int{64, 128, 256} {
+		if got := GenFourSquares(n).CountForeground(); got != 4*(n/4)*(n/4) {
+			t.Errorf("four squares at n=%d: %d foreground", n, got)
+		}
+	}
+}
+
+func TestPatternsDeterministic(t *testing.T) {
+	for _, id := range AllPatterns() {
+		a, b := Generate(id, 64), Generate(id, 64)
+		for i := range a.Pix {
+			if a.Pix[i] != b.Pix[i] {
+				t.Fatalf("%v not deterministic", id)
+			}
+		}
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, id := range AllPatterns() {
+		s := id.String()
+		if s == "" || seen[s] {
+			t.Errorf("pattern %d: bad or duplicate name %q", int(id), s)
+		}
+		seen[s] = true
+	}
+	if PatternID(99).String() != "pattern-99" {
+		t.Error("unknown pattern string")
+	}
+}
+
+func TestRandomBinaryDensity(t *testing.T) {
+	im := RandomBinary(128, 0.3, 7)
+	got := float64(im.CountForeground()) / float64(128*128)
+	if got < 0.27 || got > 0.33 {
+		t.Errorf("density %.3f, want ~0.3", got)
+	}
+	// Deterministic per seed.
+	im2 := RandomBinary(128, 0.3, 7)
+	for i := range im.Pix {
+		if im.Pix[i] != im2.Pix[i] {
+			t.Fatal("RandomBinary not deterministic")
+		}
+	}
+	im3 := RandomBinary(128, 0.3, 8)
+	same := 0
+	for i := range im.Pix {
+		if im.Pix[i] == im3.Pix[i] {
+			same++
+		}
+	}
+	if same == len(im.Pix) {
+		t.Error("different seeds gave identical images")
+	}
+}
+
+func TestRandomGreyRange(t *testing.T) {
+	im := RandomGrey(64, 16, 5)
+	if im.MaxGrey() >= 16 {
+		t.Errorf("grey level %d out of range", im.MaxGrey())
+	}
+	h, err := im.Histogram(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, c := range h {
+		if c == 0 {
+			t.Errorf("grey level %d never drawn", g)
+		}
+	}
+}
+
+func TestDARPASceneProperties(t *testing.T) {
+	im := DARPASynthetic()
+	if im.N != 512 {
+		t.Fatalf("side %d", im.N)
+	}
+	if im.MaxGrey() > 255 {
+		t.Errorf("max grey %d", im.MaxGrey())
+	}
+	fg := im.CountForeground()
+	if fg < 512*512/20 || fg > 512*512*9/10 {
+		t.Errorf("foreground fraction %.3f implausible", float64(fg)/(512*512))
+	}
+	// Many distinct grey levels, as in a 256-grey-level benchmark scene.
+	h, _ := im.Histogram(256)
+	distinct := 0
+	for g := 1; g < 256; g++ {
+		if h[g] > 0 {
+			distinct++
+		}
+	}
+	if distinct < 50 {
+		t.Errorf("only %d distinct foreground greys", distinct)
+	}
+	// Deterministic.
+	im2 := DARPASynthetic()
+	for i := range im.Pix {
+		if im.Pix[i] != im2.Pix[i] {
+			t.Fatal("DARPASynthetic not deterministic")
+		}
+	}
+}
+
+func TestEquivalentTo(t *testing.T) {
+	a := NewLabels(2)
+	b := NewLabels(2)
+	copy(a.Lab, []uint32{1, 1, 0, 2})
+	copy(b.Lab, []uint32{7, 7, 0, 9})
+	if ok, why := a.EquivalentTo(b); !ok {
+		t.Errorf("renamed labels should be equivalent: %s", why)
+	}
+	// Splitting a component breaks equivalence.
+	copy(b.Lab, []uint32{7, 8, 0, 9})
+	if ok, _ := a.EquivalentTo(b); ok {
+		t.Error("split component reported equivalent")
+	}
+	// Merging two components breaks equivalence (non-injective map).
+	copy(a.Lab, []uint32{1, 0, 0, 2})
+	copy(b.Lab, []uint32{7, 0, 0, 7})
+	if ok, _ := a.EquivalentTo(b); ok {
+		t.Error("merged components reported equivalent")
+	}
+	// Background mismatch.
+	copy(a.Lab, []uint32{0, 1, 1, 1})
+	copy(b.Lab, []uint32{5, 5, 5, 5})
+	if ok, _ := a.EquivalentTo(b); ok {
+		t.Error("background mismatch reported equivalent")
+	}
+	// Size mismatch.
+	c := NewLabels(3)
+	if ok, _ := a.EquivalentTo(c); ok {
+		t.Error("size mismatch reported equivalent")
+	}
+}
+
+func TestEquivalentToIsEquivalenceRelation(t *testing.T) {
+	f := func(seed uint64) bool {
+		im := RandomBinary(16, 0.5, seed)
+		l := NewLabels(16)
+		// Build a labeling: label = pixel value * (index+1).
+		for i, v := range im.Pix {
+			if v != 0 {
+				l.Lab[i] = uint32(i%5) + 1 // arbitrary partition
+			}
+		}
+		// Reflexive.
+		if ok, _ := l.EquivalentTo(l); !ok {
+			return false
+		}
+		// Symmetric with a renamed copy.
+		r := NewLabels(16)
+		for i, v := range l.Lab {
+			if v != 0 {
+				r.Lab[i] = v + 100
+			}
+		}
+		ok1, _ := l.EquivalentTo(r)
+		ok2, _ := r.EquivalentTo(l)
+		return ok1 && ok2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComponentsAndSizes(t *testing.T) {
+	l := NewLabels(2)
+	copy(l.Lab, []uint32{3, 3, 0, 8})
+	if l.Components() != 2 {
+		t.Errorf("Components = %d", l.Components())
+	}
+	sizes := l.ComponentSizes()
+	if sizes[3] != 2 || sizes[8] != 1 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	if _, ok := sizes[0]; ok {
+		t.Error("background counted as component")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	if !Conn4.Valid() || !Conn8.Valid() || Connectivity(5).Valid() {
+		t.Error("Valid() wrong")
+	}
+	if len(Conn4.Offsets()) != 4 || len(Conn8.Offsets()) != 8 {
+		t.Error("offset counts wrong")
+	}
+	if Conn4.String() != "4-connectivity" || Conn8.String() != "8-connectivity" {
+		t.Error("String() wrong")
+	}
+}

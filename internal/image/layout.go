@@ -1,0 +1,101 @@
+package image
+
+import "fmt"
+
+// Layout is the data layout of Section 3: the p processors form a logical
+// v x w grid (v rows, w columns) with p = v*w, assigned in row-major order,
+// and each processor owns a q x r tile of the n x n image with q = n/v and
+// r = n/w.
+type Layout struct {
+	N int // image side
+	P int // processors
+	V int // rows in the logical processor grid
+	W int // columns in the logical processor grid
+	Q int // tile rows per processor (n/v)
+	R int // tile columns per processor (n/w)
+}
+
+// GridShape returns the logical processor grid for p = 2^d processors:
+// v = 2^floor(d/2) rows and w = 2^ceil(d/2) columns, per Section 3.
+func GridShape(p int) (v, w int, err error) {
+	if p <= 0 || p&(p-1) != 0 {
+		return 0, 0, fmt.Errorf("image: p must be a positive power of two, got %d", p)
+	}
+	d := 0
+	for 1<<d < p {
+		d++
+	}
+	v = 1 << (d / 2)
+	w = 1 << ((d + 1) / 2)
+	return v, w, nil
+}
+
+// NewLayout builds the tile layout for an n x n image on p processors.
+// It requires p to be a power of two with v | n and w | n (the paper's
+// p <= n^2 assumption with even tiling).
+func NewLayout(n, p int) (Layout, error) {
+	v, w, err := GridShape(p)
+	if err != nil {
+		return Layout{}, err
+	}
+	if n%v != 0 || n%w != 0 {
+		return Layout{}, fmt.Errorf("image: %d x %d image does not tile evenly on a %d x %d processor grid", n, n, v, w)
+	}
+	return Layout{N: n, P: p, V: v, W: w, Q: n / v, R: n / w}, nil
+}
+
+// GridPos returns the logical grid position (I, J) of processor rank
+// (row-major assignment).
+func (l Layout) GridPos(rank int) (gi, gj int) {
+	return rank / l.W, rank % l.W
+}
+
+// Rank returns the processor at logical grid position (I, J).
+func (l Layout) Rank(gi, gj int) int { return gi*l.W + gj }
+
+// TileOrigin returns the global coordinates of the top-left pixel of
+// processor rank's tile.
+func (l Layout) TileOrigin(rank int) (row, col int) {
+	gi, gj := l.GridPos(rank)
+	return gi * l.Q, gj * l.R
+}
+
+// GlobalIndex returns the row-major global index of the pixel at local
+// offset (i, j) in processor rank's tile.
+func (l Layout) GlobalIndex(rank, i, j int) int {
+	r0, c0 := l.TileOrigin(rank)
+	return (r0+i)*l.N + (c0 + j)
+}
+
+// InitialLabel is the paper's globally unique initial label for the pixel
+// at local offset (i, j) of the processor at grid position (I, J):
+// (I*q + i)*n + (J*r + j) + 1 (Section 5.1). It equals the pixel's global
+// row-major index plus one, which guarantees unique labels across tiles
+// without any communication.
+func (l Layout) InitialLabel(rank, i, j int) uint32 {
+	return uint32(l.GlobalIndex(rank, i, j) + 1)
+}
+
+// Scatter copies the tile of processor rank out of a full image into dst,
+// which must have length q*r; the tile is stored row-major.
+func (l Layout) Scatter(im *Image, rank int, dst []uint32) {
+	if len(dst) != l.Q*l.R {
+		panic(fmt.Sprintf("image: Scatter dst has %d elements, want %d", len(dst), l.Q*l.R))
+	}
+	r0, c0 := l.TileOrigin(rank)
+	for i := 0; i < l.Q; i++ {
+		copy(dst[i*l.R:(i+1)*l.R], im.Pix[(r0+i)*l.N+c0:(r0+i)*l.N+c0+l.R])
+	}
+}
+
+// GatherLabels copies processor rank's tile of labels (row-major, length
+// q*r) back into the global labeling.
+func (l Layout) GatherLabels(out *Labels, rank int, src []uint32) {
+	if len(src) != l.Q*l.R {
+		panic(fmt.Sprintf("image: GatherLabels src has %d elements, want %d", len(src), l.Q*l.R))
+	}
+	r0, c0 := l.TileOrigin(rank)
+	for i := 0; i < l.Q; i++ {
+		copy(out.Lab[(r0+i)*l.N+c0:(r0+i)*l.N+c0+l.R], src[i*l.R:(i+1)*l.R])
+	}
+}

@@ -1,0 +1,151 @@
+package image
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGridShape(t *testing.T) {
+	cases := []struct{ p, v, w int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {8, 2, 4},
+		{16, 4, 4}, {32, 4, 8}, {64, 8, 8}, {128, 8, 16},
+	}
+	for _, c := range cases {
+		v, w, err := GridShape(c.p)
+		if err != nil {
+			t.Fatalf("GridShape(%d): %v", c.p, err)
+		}
+		if v != c.v || w != c.w {
+			t.Errorf("GridShape(%d) = %dx%d, want %dx%d", c.p, v, w, c.v, c.w)
+		}
+		if v*w != c.p {
+			t.Errorf("GridShape(%d): v*w = %d", c.p, v*w)
+		}
+	}
+	for _, p := range []int{0, -4, 3, 12, 100} {
+		if _, _, err := GridShape(p); err == nil {
+			t.Errorf("GridShape(%d): want error", p)
+		}
+	}
+}
+
+func TestNewLayoutPaperExample(t *testing.T) {
+	// Figure 4: a 512x512 image on p=32 is a 4x8 grid of 128x64 tiles.
+	lay, err := NewLayout(512, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.V != 4 || lay.W != 8 || lay.Q != 128 || lay.R != 64 {
+		t.Errorf("layout = %+v, want 4x8 grid of 128x64 tiles", lay)
+	}
+}
+
+func TestNewLayoutRejectsUneven(t *testing.T) {
+	if _, err := NewLayout(50, 16); err == nil {
+		t.Error("50x50 on 4x4: want error (not divisible)")
+	}
+	if _, err := NewLayout(64, 12); err == nil {
+		t.Error("p=12: want error (not a power of two)")
+	}
+}
+
+func TestGridPosRoundTrip(t *testing.T) {
+	lay, err := NewLayout(64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 32; rank++ {
+		gi, gj := lay.GridPos(rank)
+		if gi < 0 || gi >= lay.V || gj < 0 || gj >= lay.W {
+			t.Fatalf("rank %d: grid pos (%d,%d) out of range", rank, gi, gj)
+		}
+		if lay.Rank(gi, gj) != rank {
+			t.Fatalf("rank %d: round trip gave %d", rank, lay.Rank(gi, gj))
+		}
+	}
+}
+
+func TestInitialLabelIsGlobalIndexPlusOne(t *testing.T) {
+	lay, err := NewLayout(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{}
+	for rank := 0; rank < 8; rank++ {
+		for i := 0; i < lay.Q; i++ {
+			for j := 0; j < lay.R; j++ {
+				l := lay.InitialLabel(rank, i, j)
+				if l == 0 {
+					t.Fatal("initial label 0")
+				}
+				if seen[l] {
+					t.Fatalf("duplicate initial label %d", l)
+				}
+				seen[l] = true
+				if int(l) != lay.GlobalIndex(rank, i, j)+1 {
+					t.Fatalf("label %d != global index %d + 1", l, lay.GlobalIndex(rank, i, j))
+				}
+			}
+		}
+	}
+	if len(seen) != 16*16 {
+		t.Fatalf("labels cover %d pixels, want 256", len(seen))
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		im := RandomGrey(32, 8, seed)
+		lay, err := NewLayout(32, 16)
+		if err != nil {
+			return false
+		}
+		out := NewLabels(32)
+		for rank := 0; rank < 16; rank++ {
+			tile := make([]uint32, lay.Q*lay.R)
+			lay.Scatter(im, rank, tile)
+			lay.GatherLabels(out, rank, tile)
+		}
+		for i := range im.Pix {
+			if out.Lab[i] != im.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScatterPanicsOnWrongSize(t *testing.T) {
+	im := New(16)
+	lay, _ := NewLayout(16, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	lay.Scatter(im, 0, make([]uint32, 3))
+}
+
+func TestTileOriginsTileThePlane(t *testing.T) {
+	lay, err := NewLayout(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make([]int, 64*64)
+	for rank := 0; rank < 8; rank++ {
+		r0, c0 := lay.TileOrigin(rank)
+		for i := 0; i < lay.Q; i++ {
+			for j := 0; j < lay.R; j++ {
+				covered[(r0+i)*64+c0+j]++
+			}
+		}
+	}
+	for idx, c := range covered {
+		if c != 1 {
+			t.Fatalf("pixel %d covered %d times", idx, c)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package image
+
+import (
+	"fmt"
+	"math"
+)
+
+// The nine scalable binary test patterns of Figure 1, "the most widely used
+// patterns for binary images": horizontal, vertical, and forward- and
+// back-slanting diagonal bars, a cross, a filled disc, concentric circles
+// with thickness, four squares inset from the four corners, and a
+// dual-spiral pattern (a "difficult" image in the sense of Stout).
+//
+// Each generator accepts any side n >= 8 and produces a deterministic image
+// with grey levels {0, 1}.
+
+// PatternID identifies one of the nine catalog images.
+type PatternID int
+
+const (
+	HorizontalBars PatternID = iota + 1
+	VerticalBars
+	ForwardDiagonalBars
+	BackDiagonalBars
+	Cross
+	FilledDisc
+	ConcentricCircles
+	FourSquares
+	DualSpiral
+)
+
+// AllPatterns lists the nine catalog patterns in Figure 1 order.
+func AllPatterns() []PatternID {
+	return []PatternID{
+		HorizontalBars, VerticalBars, ForwardDiagonalBars, BackDiagonalBars,
+		Cross, FilledDisc, ConcentricCircles, FourSquares, DualSpiral,
+	}
+}
+
+func (id PatternID) String() string {
+	switch id {
+	case HorizontalBars:
+		return "horizontal-bars"
+	case VerticalBars:
+		return "vertical-bars"
+	case ForwardDiagonalBars:
+		return "forward-diagonal-bars"
+	case BackDiagonalBars:
+		return "back-diagonal-bars"
+	case Cross:
+		return "cross"
+	case FilledDisc:
+		return "filled-disc"
+	case ConcentricCircles:
+		return "concentric-circles"
+	case FourSquares:
+		return "four-squares"
+	case DualSpiral:
+		return "dual-spiral"
+	}
+	return fmt.Sprintf("pattern-%d", int(id))
+}
+
+// Generate renders catalog image id at side n.
+func Generate(id PatternID, n int) *Image {
+	switch id {
+	case HorizontalBars:
+		return GenHorizontalBars(n)
+	case VerticalBars:
+		return GenVerticalBars(n)
+	case ForwardDiagonalBars:
+		return GenForwardDiagonalBars(n)
+	case BackDiagonalBars:
+		return GenBackDiagonalBars(n)
+	case Cross:
+		return GenCross(n)
+	case FilledDisc:
+		return GenFilledDisc(n)
+	case ConcentricCircles:
+		return GenConcentricCircles(n)
+	case FourSquares:
+		return GenFourSquares(n)
+	case DualSpiral:
+		return GenDualSpiral(n)
+	}
+	panic(fmt.Sprintf("image: unknown pattern %d", int(id)))
+}
+
+// PatternThickness is the stripe/ring width of the augmented patterns
+// (images 1-4, 7 and 9). Per Section 3, those images are "augmented to the
+// needed image size" rather than scaled: the feature size stays fixed (8
+// pixels) and larger images simply contain more features. Below n = 64 the
+// thickness shrinks so small test images still hold several features.
+func PatternThickness(n int) int {
+	if n >= 64 {
+		return 8
+	}
+	t := n / 8
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func barThickness(n int) int { return PatternThickness(n) }
+
+// GenHorizontalBars draws alternating full-width horizontal stripes
+// (Image 1).
+func GenHorizontalBars(n int) *Image {
+	im := New(n)
+	t := barThickness(n)
+	for i := 0; i < n; i++ {
+		if (i/t)%2 == 0 {
+			row := im.Pix[i*n : (i+1)*n]
+			for j := range row {
+				row[j] = 1
+			}
+		}
+	}
+	return im
+}
+
+// GenVerticalBars draws alternating full-height vertical stripes (Image 2).
+func GenVerticalBars(n int) *Image {
+	im := New(n)
+	t := barThickness(n)
+	for j := 0; j < n; j++ {
+		if (j/t)%2 == 0 {
+			for i := 0; i < n; i++ {
+				im.Pix[i*n+j] = 1
+			}
+		}
+	}
+	return im
+}
+
+// GenForwardDiagonalBars draws bars slanting like "/" (Image 3).
+func GenForwardDiagonalBars(n int) *Image {
+	im := New(n)
+	t := barThickness(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if ((i+j)/t)%2 == 0 {
+				im.Pix[i*n+j] = 1
+			}
+		}
+	}
+	return im
+}
+
+// GenBackDiagonalBars draws bars slanting like "\" (Image 4).
+func GenBackDiagonalBars(n int) *Image {
+	im := New(n)
+	t := barThickness(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if ((i-j+n)/t)%2 == 0 {
+				im.Pix[i*n+j] = 1
+			}
+		}
+	}
+	return im
+}
+
+// GenCross draws one centered cross: a horizontal and a vertical bar of
+// thickness n/8 spanning the full image (Image 5).
+func GenCross(n int) *Image {
+	im := New(n)
+	t := n / 8
+	if t < 2 {
+		t = 2
+	}
+	lo := (n - t) / 2
+	hi := lo + t
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if (i >= lo && i < hi) || (j >= lo && j < hi) {
+				im.Pix[i*n+j] = 1
+			}
+		}
+	}
+	return im
+}
+
+// GenFilledDisc draws one filled disc of radius 3n/8 centered in the image
+// (Image 6).
+func GenFilledDisc(n int) *Image {
+	im := New(n)
+	c := float64(n-1) / 2
+	r := 3 * float64(n) / 8
+	r2 := r * r
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			di, dj := float64(i)-c, float64(j)-c
+			if di*di+dj*dj <= r2 {
+				im.Pix[i*n+j] = 1
+			}
+		}
+	}
+	return im
+}
+
+// GenConcentricCircles draws concentric rings with thickness: annuli of
+// width n/16 alternating foreground/background out to radius n/2 (Image 7).
+func GenConcentricCircles(n int) *Image {
+	im := New(n)
+	t := float64(barThickness(n))
+	c := float64(n-1) / 2
+	rmax := float64(n) / 2
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			di, dj := float64(i)-c, float64(j)-c
+			d := math.Sqrt(di*di + dj*dj)
+			if d < rmax && int(d/t)%2 == 0 {
+				im.Pix[i*n+j] = 1
+			}
+		}
+	}
+	return im
+}
+
+// GenFourSquares draws four squares of side n/4 inset n/8 from the four
+// corners (Image 8).
+func GenFourSquares(n int) *Image {
+	im := New(n)
+	side := n / 4
+	inset := n / 8
+	fill := func(r0, c0 int) {
+		for i := r0; i < r0+side; i++ {
+			for j := c0; j < c0+side; j++ {
+				im.Pix[i*n+j] = 1
+			}
+		}
+	}
+	fill(inset, inset)
+	fill(inset, n-inset-side)
+	fill(n-inset-side, inset)
+	fill(n-inset-side, n-inset-side)
+	return im
+}
+
+// GenDualSpiral draws two interlocked spiral arms, the "difficult" image of
+// the catalog (Image 9): components snake across every tile boundary many
+// times, defeating local-window labeling heuristics.
+func GenDualSpiral(n int) *Image {
+	im := New(n)
+	t := float64(barThickness(n))
+	c := float64(n-1) / 2
+	rmax := float64(n) / 2
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			di, dj := float64(i)-c, float64(j)-c
+			d := math.Sqrt(di*di + dj*dj)
+			if d >= rmax || d < t {
+				continue
+			}
+			theta := math.Atan2(di, dj) // -pi..pi
+			// An Archimedean band index: as theta wraps, the band
+			// advances by one, producing two interleaved arms for
+			// the parity test below.
+			band := int(math.Floor(d/t - theta/math.Pi))
+			if band%2 == 0 {
+				im.Pix[i*n+j] = 1
+			}
+		}
+	}
+	return im
+}

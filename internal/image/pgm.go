@@ -1,0 +1,65 @@
+package image
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePGM writes the image as a binary (P5) portable greymap with the
+// given maximum grey value (pixels are clamped). Useful for eyeballing the
+// generated test images and the outputs of the example programs.
+func (im *Image) WritePGM(w io.Writer, maxVal int) error {
+	if maxVal < 1 || maxVal > 255 {
+		return fmt.Errorf("image: PGM maxval %d outside [1,255]", maxVal)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n%d\n", im.N, im.N, maxVal); err != nil {
+		return err
+	}
+	for _, v := range im.Pix {
+		b := v
+		if b > uint32(maxVal) {
+			b = uint32(maxVal)
+		}
+		if err := bw.WriteByte(byte(b)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPGM reads a binary (P5) portable greymap. The image must be square.
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscan(br, &magic); err != nil {
+		return nil, fmt.Errorf("image: reading PGM magic: %w", err)
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("image: unsupported PGM magic %q", magic)
+	}
+	var w, h, maxVal int
+	if _, err := fmt.Fscan(br, &w, &h, &maxVal); err != nil {
+		return nil, fmt.Errorf("image: reading PGM header: %w", err)
+	}
+	if w != h {
+		return nil, fmt.Errorf("image: PGM is %dx%d; only square images are supported", w, h)
+	}
+	if maxVal < 1 || maxVal > 255 {
+		return nil, fmt.Errorf("image: PGM maxval %d outside [1,255]", maxVal)
+	}
+	// Exactly one whitespace byte separates the header from pixel data.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, fmt.Errorf("image: reading PGM separator: %w", err)
+	}
+	im := New(w)
+	buf := make([]byte, w*h)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("image: reading PGM pixels: %w", err)
+	}
+	for i, b := range buf {
+		im.Pix[i] = uint32(b)
+	}
+	return im, nil
+}

@@ -1,0 +1,84 @@
+package image
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	im := RandomGrey(32, 256, 9)
+	var buf bytes.Buffer
+	if err := im.WritePGM(&buf, 255); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != im.N {
+		t.Fatalf("side %d, want %d", got.N, im.N)
+	}
+	for i := range im.Pix {
+		if got.Pix[i] != im.Pix[i] {
+			t.Fatalf("pixel %d: %d, want %d", i, got.Pix[i], im.Pix[i])
+		}
+	}
+}
+
+func TestWritePGMClampsPixels(t *testing.T) {
+	im := New(2)
+	im.Set(0, 0, 300)
+	var buf bytes.Buffer
+	if err := im.WritePGM(&buf, 255); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0, 0) != 255 {
+		t.Errorf("clamped pixel = %d, want 255", got.At(0, 0))
+	}
+}
+
+func TestWritePGMRejectsBadMaxVal(t *testing.T) {
+	im := New(2)
+	var buf bytes.Buffer
+	for _, mv := range []int{0, -1, 256, 1000} {
+		if err := im.WritePGM(&buf, mv); err == nil {
+			t.Errorf("maxval %d: want error", mv)
+		}
+	}
+}
+
+func TestReadPGMHeader(t *testing.T) {
+	if _, err := ReadPGM(strings.NewReader("P6\n2 2\n255\n....")); err == nil {
+		t.Error("P6 magic should be rejected")
+	}
+	if _, err := ReadPGM(strings.NewReader("P5\n2 3\n255\n......")); err == nil {
+		t.Error("non-square image should be rejected")
+	}
+	if _, err := ReadPGM(strings.NewReader("P5\n2 2\n999\n....")); err == nil {
+		t.Error("maxval over 255 should be rejected")
+	}
+	if _, err := ReadPGM(strings.NewReader("P5\n2 2\n255\nab")); err == nil {
+		t.Error("truncated pixel data should be rejected")
+	}
+	if _, err := ReadPGM(strings.NewReader("")); err == nil {
+		t.Error("empty input should be rejected")
+	}
+}
+
+func TestReadPGMWhitespaceHandling(t *testing.T) {
+	// Header fields separated by newlines and spaces, single separator
+	// byte before data.
+	data := "P5 2\n2 255\n" + string([]byte{1, 2, 3, 4})
+	im, err := ReadPGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.At(0, 0) != 1 || im.At(1, 1) != 4 {
+		t.Errorf("pixels %v", im.Pix)
+	}
+}

@@ -1,0 +1,84 @@
+package image
+
+import "fmt"
+
+// rng is a small deterministic xorshift64* generator so that test images
+// are reproducible across Go releases (math/rand's stream is not part of
+// its compatibility promise).
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *rng) Float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *rng) Intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// RandomBinary returns an n x n image where each pixel is foreground with
+// probability density, deterministically from seed. Densities near the site
+// percolation threshold (~0.593 for 4-connectivity) give the richest
+// component structure.
+func RandomBinary(n int, density float64, seed uint64) *Image {
+	if density < 0 || density > 1 {
+		panic(fmt.Sprintf("image: density %v outside [0,1]", density))
+	}
+	im := New(n)
+	r := newRNG(seed)
+	for i := range im.Pix {
+		if r.Float64() < density {
+			im.Pix[i] = 1
+		}
+	}
+	return im
+}
+
+// RandomGrey returns an n x n image with k grey levels where each pixel is
+// drawn uniformly from [0, k), deterministically from seed.
+func RandomGrey(n, k int, seed uint64) *Image {
+	if k < 2 {
+		panic(fmt.Sprintf("image: need at least 2 grey levels, got %d", k))
+	}
+	im := New(n)
+	r := newRNG(seed)
+	for i := range im.Pix {
+		im.Pix[i] = uint32(r.Intn(k))
+	}
+	return im
+}
+
+// RandomBlobs returns an n x n binary image of count random axis-aligned
+// rectangles and discs, useful for generating component censuses of
+// controlled richness.
+func RandomBlobs(n, count int, seed uint64) *Image {
+	im := New(n)
+	r := newRNG(seed)
+	for b := 0; b < count; b++ {
+		h := 2 + r.Intn(n/4)
+		w := 2 + r.Intn(n/4)
+		r0 := r.Intn(n - h)
+		c0 := r.Intn(n - w)
+		for i := r0; i < r0+h; i++ {
+			for j := c0; j < c0+w; j++ {
+				im.Pix[i*n+j] = 1
+			}
+		}
+	}
+	return im
+}

@@ -1,0 +1,54 @@
+package image
+
+// Geometric transforms used by the test suite's invariance properties and
+// by downstream users augmenting workloads: connected component structure
+// is invariant under them (rotations and reflections preserve both 4- and
+// 8-adjacency), so labelers must report identical component censuses on
+// transformed images.
+
+// Rotate90 returns the image rotated 90 degrees clockwise: pixel (i, j)
+// moves to (j, n-1-i).
+func (im *Image) Rotate90() *Image {
+	n := im.N
+	out := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Pix[j*n+(n-1-i)] = im.Pix[i*n+j]
+		}
+	}
+	return out
+}
+
+// FlipH returns the image mirrored horizontally (columns reversed).
+func (im *Image) FlipH() *Image {
+	n := im.N
+	out := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Pix[i*n+(n-1-j)] = im.Pix[i*n+j]
+		}
+	}
+	return out
+}
+
+// FlipV returns the image mirrored vertically (rows reversed).
+func (im *Image) FlipV() *Image {
+	n := im.N
+	out := New(n)
+	for i := 0; i < n; i++ {
+		copy(out.Pix[(n-1-i)*n:(n-i)*n], im.Pix[i*n:(i+1)*n])
+	}
+	return out
+}
+
+// Transpose returns the image mirrored across the main diagonal.
+func (im *Image) Transpose() *Image {
+	n := im.N
+	out := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Pix[j*n+i] = im.Pix[i*n+j]
+		}
+	}
+	return out
+}

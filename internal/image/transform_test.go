@@ -1,0 +1,67 @@
+package image
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRotate90FourTimesIsIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		im := RandomGrey(16, 8, seed)
+		r := im.Rotate90().Rotate90().Rotate90().Rotate90()
+		for i := range im.Pix {
+			if r.Pix[i] != im.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipsAreInvolutions(t *testing.T) {
+	f := func(seed uint64) bool {
+		im := RandomGrey(16, 8, seed)
+		for _, tr := range []func(*Image) *Image{
+			(*Image).FlipH, (*Image).FlipV, (*Image).Transpose,
+		} {
+			r := tr(tr(im))
+			for i := range im.Pix {
+				if r.Pix[i] != im.Pix[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotate90MovesCorner(t *testing.T) {
+	im := New(4)
+	im.Set(0, 0, 7) // top-left -> top-right under clockwise rotation
+	r := im.Rotate90()
+	if r.At(0, 3) != 7 {
+		t.Errorf("corner went to the wrong place: %v", r.Pix)
+	}
+}
+
+func TestTransformsPreserveHistogram(t *testing.T) {
+	im := RandomGrey(32, 16, 5)
+	h0, _ := im.Histogram(16)
+	for name, tr := range map[string]func(*Image) *Image{
+		"rot": (*Image).Rotate90, "fliph": (*Image).FlipH,
+		"flipv": (*Image).FlipV, "transpose": (*Image).Transpose,
+	} {
+		h1, _ := tr(im).Histogram(16)
+		for g := range h0 {
+			if h0[g] != h1[g] {
+				t.Errorf("%s: histogram changed at grey %d", name, g)
+			}
+		}
+	}
+}

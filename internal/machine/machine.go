@@ -1,0 +1,142 @@
+// Package machine provides BDM cost profiles for the parallel machines used
+// in the paper's experimental study: the Thinking Machines CM-5, IBM SP-1
+// and SP-2, Meiko CS-2, and Intel Paragon, plus synthetic profiles for
+// methodological experiments.
+//
+// Calibration. The profiles are built from constants the paper itself
+// reports (Sections 2.2, 4.1 and Tables 1-2):
+//
+//   - per-processor bandwidth: the attained transpose bandwidths of Section
+//     2.2 (CM-5 7.62 MB/s of a 12 MB/s payload ceiling, SP-2 24.8 MB/s of
+//     40 MB/s peak, CS-2 10.7 MB/s, Paragon 88.6 MB/s of 135 MB/s
+//     application peak) determine SecPerWord (one 32-bit word per
+//     word-time);
+//   - local operation cost: calibrated so that the simulated histogramming
+//     of a 512x512, 256 grey-level image reproduces the work-per-pixel
+//     column of Table 1 (e.g. CM-5: 732 ns/pixel at three charged
+//     operations per pixel tally);
+//   - latency tau and barrier cost: published message latencies of the era
+//     for each interconnect (order 10-100 us).
+//
+// Absolute seconds are therefore of the right order but approximate; the
+// reproduction targets the paper's shapes (scaling in n, p, and k, the
+// comp/comm split, machine ranking), as recorded in EXPERIMENTS.md.
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parimg/internal/bdm"
+)
+
+// Profiles for the machines in the paper. Times in seconds.
+var (
+	// CM5 models the Thinking Machines CM-5 (32 MHz SPARC nodes, fat-tree
+	// network, 12 MB/s user-payload bandwidth per processor, hardware
+	// barriers). The paper's primary experimental platform.
+	CM5 = bdm.CostParams{
+		Name:        "TMC CM-5",
+		Tau:         15e-6,
+		SecPerWord:  4.0 / (8.0e6), // ~8 MB/s sustained per processor
+		SecPerOp:    244e-9,        // 732 ns/pixel at 3 ops/pixel (Table 1)
+		BarrierCost: 5e-6,          // hardware barrier network
+	}
+
+	// SP1 models the IBM SP-1 (62.5 MHz POWER1 nodes, MPL over the
+	// high-performance switch).
+	SP1 = bdm.CostParams{
+		Name:        "IBM SP-1",
+		Tau:         75e-6,
+		SecPerWord:  4.0 / (7.0e6),
+		SecPerOp:    187e-9, // 562 ns/pixel at 3 ops/pixel (Table 1)
+		BarrierCost: 120e-6,
+	}
+
+	// SP2 models the IBM SP-2 with wide nodes (66.7 MHz POWER2, MPL,
+	// vendor-rated 40 MB/s peak node-to-node; the paper attains 24.8).
+	SP2 = bdm.CostParams{
+		Name:        "IBM SP-2",
+		Tau:         50e-6,
+		SecPerWord:  4.0 / (24.8e6),
+		SecPerOp:    120e-9,
+		BarrierCost: 80e-6,
+	}
+
+	// CS2 models the Meiko CS-2 (SuperSPARC nodes, Elan network; the
+	// paper's Split-C port does not use the communications coprocessor,
+	// attaining 10.7 of 50 MB/s).
+	CS2 = bdm.CostParams{
+		Name:        "Meiko CS-2",
+		Tau:         40e-6,
+		SecPerWord:  4.0 / (10.7e6),
+		SecPerOp:    77e-9, // 231 ns/pixel at 3 ops/pixel (Table 1)
+		BarrierCost: 20e-6,
+	}
+
+	// Paragon models the Intel Paragon (50 MHz i860XP nodes, 2-D mesh,
+	// PAM active messages; the paper attains 88.6 of 135 MB/s).
+	Paragon = bdm.CostParams{
+		Name:        "Intel Paragon",
+		Tau:         30e-6,
+		SecPerWord:  4.0 / (88.6e6),
+		SecPerOp:    212e-9, // 635 ns/pixel at 3 ops/pixel (Table 1)
+		BarrierCost: 50e-6,
+	}
+
+	// Ideal is a zero-communication-cost machine: it isolates Tcomp and
+	// is used for efficiency and ablation studies.
+	Ideal = bdm.CostParams{
+		Name:        "Ideal (zero comm)",
+		Tau:         0,
+		SecPerWord:  0,
+		SecPerOp:    100e-9,
+		BarrierCost: 0,
+	}
+
+	// LatencyBound is a machine with enormous latency and infinite
+	// bandwidth; it isolates the (4 log p) tau latency term of the
+	// connected components complexity, Eq. (11).
+	LatencyBound = bdm.CostParams{
+		Name:        "Latency-bound",
+		Tau:         10e-3,
+		SecPerWord:  0,
+		SecPerOp:    100e-9,
+		BarrierCost: 0,
+	}
+)
+
+// All returns the five machines of the paper's study, in the paper's order.
+func All() []bdm.CostParams {
+	return []bdm.CostParams{CM5, SP1, SP2, CS2, Paragon}
+}
+
+// names maps lookup keys to profiles.
+var names = map[string]bdm.CostParams{
+	"cm5":     CM5,
+	"cm-5":    CM5,
+	"sp1":     SP1,
+	"sp-1":    SP1,
+	"sp2":     SP2,
+	"sp-2":    SP2,
+	"cs2":     CS2,
+	"cs-2":    CS2,
+	"paragon": Paragon,
+	"ideal":   Ideal,
+}
+
+// ByName looks a profile up by a case-insensitive short name: cm5, sp1,
+// sp2, cs2, paragon, ideal.
+func ByName(name string) (bdm.CostParams, error) {
+	c, ok := names[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		keys := make([]string, 0, len(names))
+		for k := range names {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return bdm.CostParams{}, fmt.Errorf("machine: unknown machine %q (have %s)", name, strings.Join(keys, ", "))
+	}
+	return c, nil
+}

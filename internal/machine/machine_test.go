@@ -1,0 +1,94 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"parimg/internal/bdm"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, c := range append(All(), Ideal, LatencyBound) {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+		if c.Name == "" {
+			t.Error("profile without a name")
+		}
+	}
+	if len(All()) != 5 {
+		t.Errorf("All() has %d machines, want the paper's 5", len(All()))
+	}
+}
+
+func TestBandwidthsMatchPaper(t *testing.T) {
+	// Section 2.2 reports the attained transpose bandwidths our
+	// SecPerWord values are calibrated from.
+	cases := []struct {
+		spec bdm.CostParams
+		mbps float64
+	}{
+		{SP2, 24.8},     // "greater than 24.8 MB/s per processor"
+		{CS2, 10.7},     // "greater than 10.7 MB/s per processor"
+		{Paragon, 88.6}, // "greater than 88.6 MB/s per processor"
+	}
+	for _, c := range cases {
+		got := c.spec.BandwidthMBps()
+		if math.Abs(got-c.mbps)/c.mbps > 0.01 {
+			t.Errorf("%s: bandwidth %.2f MB/s, want %.2f", c.spec.Name, got, c.mbps)
+		}
+	}
+	// The CM-5 profile sits between the attained 7.62 and the 12 MB/s
+	// payload ceiling.
+	if bw := CM5.BandwidthMBps(); bw < 7.62 || bw > 12 {
+		t.Errorf("CM-5 bandwidth %.2f outside [7.62, 12]", bw)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"cm5":     "TMC CM-5",
+		"CM-5":    "TMC CM-5",
+		"sp1":     "IBM SP-1",
+		"SP-2":    "IBM SP-2",
+		" cs2 ":   "Meiko CS-2",
+		"PARAGON": "Intel Paragon",
+		"ideal":   "Ideal (zero comm)",
+	} {
+		got, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if got.Name != want {
+			t.Errorf("ByName(%q) = %s, want %s", name, got.Name, want)
+		}
+	}
+	if _, err := ByName("t3d"); err == nil {
+		t.Error("unknown machine should error")
+	}
+}
+
+func TestRelativeMachineOrdering(t *testing.T) {
+	// The paper's data implies: the Paragon has the highest
+	// per-processor bandwidth, the CM-5 the lowest of the five; the
+	// SP-2 computes faster per op than the SP-1.
+	if !(Paragon.SecPerWord < SP2.SecPerWord && SP2.SecPerWord < CS2.SecPerWord) {
+		t.Error("bandwidth ordering Paragon > SP-2 > CS-2 violated")
+	}
+	if CM5.SecPerWord < SP2.SecPerWord {
+		t.Error("CM-5 should have lower bandwidth than SP-2")
+	}
+	if SP2.SecPerOp > SP1.SecPerOp {
+		t.Error("SP-2 nodes should be faster than SP-1 nodes")
+	}
+}
+
+func TestIdealIsFree(t *testing.T) {
+	if Ideal.Tau != 0 || Ideal.SecPerWord != 0 || Ideal.BarrierCost != 0 {
+		t.Error("Ideal profile must have zero communication cost")
+	}
+	if LatencyBound.Tau == 0 {
+		t.Error("LatencyBound must have nonzero latency")
+	}
+}

@@ -1,0 +1,119 @@
+package priorwork
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWorkPerPixelMatchesPaper verifies our normalization against the
+// work-per-pixel column printed in the paper for this paper's rows.
+func TestWorkPerPixelMatchesPaper(t *testing.T) {
+	within := func(got, want float64) bool {
+		return math.Abs(got-want)/want < 0.02
+	}
+	// Table 1 (Section 1): CM-5 732 ns, SP-1 562 ns, SP-2 1.22 us,
+	// Paragon 635 ns, CS-2 231 ns.
+	wantT1 := map[string]float64{
+		"TMC CM-5":      732e-9,
+		"IBM SP-1":      562e-9,
+		"IBM SP-2":      1.22e-6,
+		"Intel Paragon": 635e-9,
+		"Meiko CS-2":    231e-9,
+	}
+	for _, r := range Table1() {
+		if !r.ThisPaper {
+			continue
+		}
+		if w, ok := wantT1[r.Machine]; ok {
+			if !within(r.WorkPerPixel(), w) {
+				t.Errorf("Table1 %s: work/pixel %.3g, paper says %.3g", r.Machine, r.WorkPerPixel(), w)
+			}
+		}
+	}
+	// Spot checks in Table 2: CM-5 p=32 DARPA II 44.9 us; SP-2 p=4
+	// DARPA II 3.71 us; CS-2 p=32 36.7 us.
+	checks := []struct {
+		machine string
+		secs    float64
+		want    float64
+	}{
+		{"TMC CM-5", 368e-3, 44.9e-6},
+		{"IBM SP-2", 243e-3, 3.71e-6},
+		{"Meiko CS-2", 301e-3, 36.7e-6},
+	}
+	for _, c := range checks {
+		found := false
+		for _, r := range Table2() {
+			if r.ThisPaper && r.Machine == c.machine && r.Seconds == c.secs {
+				found = true
+				if !within(r.WorkPerPixel(), c.want) {
+					t.Errorf("Table2 %s %.3gs: work/pixel %.3g, paper says %.3g",
+						c.machine, c.secs, r.WorkPerPixel(), c.want)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("Table2 row %s %.3gs missing", c.machine, c.secs)
+		}
+	}
+}
+
+func TestFineGrainedNormalization(t *testing.T) {
+	// Marks 1980: 17.25 ms on a 1024-PE DAP over a 32x32 image is
+	// 539 us/pixel after the divide-by-32 rule.
+	r := Table1()[0]
+	if !r.FineGrained {
+		t.Fatal("DAP should be fine-grained")
+	}
+	if got := r.WorkPerPixel(); math.Abs(got-539e-6)/539e-6 > 0.01 {
+		t.Errorf("Marks work/pixel = %.4g, want 539 us", got)
+	}
+}
+
+func TestTablesWellFormed(t *testing.T) {
+	for name, rows := range map[string][]Row{"Table1": Table1(), "Table2": Table2()} {
+		thisPaper := 0
+		for i, r := range rows {
+			if r.Year < 1980 || r.Year > 1994 {
+				t.Errorf("%s[%d]: implausible year %d", name, i, r.Year)
+			}
+			if r.PEs <= 0 || r.ImageSize <= 0 || r.Seconds <= 0 {
+				t.Errorf("%s[%d]: non-positive numeric field %+v", name, i, r)
+			}
+			if r.ThisPaper {
+				thisPaper++
+			}
+			if r.String() == "" {
+				t.Errorf("%s[%d]: empty String()", name, i)
+			}
+		}
+		if name == "Table1" && thisPaper != 5 {
+			t.Errorf("Table1 has %d this-paper rows, want 5", thisPaper)
+		}
+		if name == "Table2" && thisPaper != 11 {
+			t.Errorf("Table2 has %d this-paper rows, want 11", thisPaper)
+		}
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := []struct {
+		s    float64
+		want string
+	}{
+		{0, "0"},
+		{2.5, "2.5 s"},
+		{12e-3, "12 ms"},
+		{732e-9, "732 ns"},
+		{44.9e-6, "44.9 us"},
+	}
+	for _, c := range cases {
+		if got := FormatSeconds(c.s); got != c.want {
+			t.Errorf("FormatSeconds(%g) = %q, want %q", c.s, got, c.want)
+		}
+	}
+	if !strings.Contains(FormatSeconds(1.5e-3), "ms") {
+		t.Error("1.5e-3 should be in ms")
+	}
+}

@@ -1,0 +1,166 @@
+// Package seq implements the sequential building blocks and baselines: the
+// row-major breadth-first-search connected components labeler of Section
+// 5.1 (which the parallel algorithm runs on each tile), a union-find
+// labeler and a classic two-pass scanline labeler used as cross-checking
+// baselines, and sequential histogramming.
+package seq
+
+import (
+	"fmt"
+
+	"parimg/internal/image"
+)
+
+// Mode selects which pixels are considered connected.
+type Mode int
+
+const (
+	// Binary treats every nonzero pixel as foreground; two adjacent
+	// foreground pixels are connected regardless of value (Section 5).
+	Binary Mode = iota
+	// Grey connects adjacent pixels only when they have the same
+	// nonzero grey level (Section 6: each component is a set of
+	// like-colored connected pixels).
+	Grey
+)
+
+func (m Mode) String() string {
+	if m == Binary {
+		return "binary"
+	}
+	return "grey"
+}
+
+// Connected reports whether two foreground colors join under the mode.
+func (m Mode) Connected(a, b uint32) bool {
+	if a == 0 || b == 0 {
+		return false
+	}
+	return m == Binary || a == b
+}
+
+// Histogram tallies pix into h (len k), adding to existing counts: the
+// local step of the parallel algorithm. Pixels >= k wrap an error.
+func Histogram(pix []uint32, h []uint32) error {
+	k := uint32(len(h))
+	for _, v := range pix {
+		if v >= k {
+			return fmt.Errorf("seq: grey level %d outside [0,%d)", v, k)
+		}
+		h[v]++
+	}
+	return nil
+}
+
+// TileLabeler runs the paper's initialization on one q x r tile: pixels are
+// examined in row-major order, and each unmarked colored pixel starts a BFS
+// that labels its connected like-colored pixels within the tile. The label
+// comes from labelAt(i, j) evaluated at the BFS seed, which the parallel
+// algorithm sets to the globally unique (I*q+i)*n + (J*r+j) + 1. The seed
+// is the component's row-major-first pixel, so with that formula the label
+// is min(global index)+1 over the tile component.
+//
+// pix and labels are row-major with rows*cols elements; labels must be
+// zeroed. Returns the number of components found in the tile.
+//
+// Following Section 5.1, the scan only needs to look at forward neighbors,
+// but the BFS itself explores all neighbors of the connectivity.
+func TileLabeler(pix []uint32, rows, cols int, conn image.Connectivity, mode Mode,
+	labelAt func(i, j int) uint32, labels []uint32, queue []int32) (int, []int32) {
+	if len(pix) != rows*cols || len(labels) != rows*cols {
+		panic(fmt.Sprintf("seq: TileLabeler size mismatch: %d pixels, %d labels, want %d",
+			len(pix), len(labels), rows*cols))
+	}
+	offs := conn.Offsets()
+	comps := 0
+	if queue == nil {
+		queue = make([]int32, 0, rows*cols)
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			idx := i*cols + j
+			if pix[idx] == 0 || labels[idx] != 0 {
+				continue
+			}
+			lab := labelAt(i, j)
+			if lab == 0 {
+				panic("seq: labelAt returned 0, which is reserved for background")
+			}
+			comps++
+			labels[idx] = lab
+			queue = append(queue[:0], int32(idx))
+			for len(queue) > 0 {
+				u := int(queue[len(queue)-1])
+				queue = queue[:len(queue)-1]
+				ui, uj := u/cols, u%cols
+				for _, d := range offs {
+					vi, vj := ui+d[0], uj+d[1]
+					if vi < 0 || vi >= rows || vj < 0 || vj >= cols {
+						continue
+					}
+					v := vi*cols + vj
+					if labels[v] != 0 || !mode.Connected(pix[u], pix[v]) {
+						continue
+					}
+					labels[v] = lab
+					queue = append(queue, int32(v))
+				}
+			}
+		}
+	}
+	return comps, queue
+}
+
+// LabelBFS labels a whole image with the paper's sequential algorithm
+// (Section 5.1 applied to a single tile covering the image): the label of
+// each component is the global row-major index of its first pixel plus one.
+// This is the reference labeling that the parallel algorithm must
+// reproduce exactly when merges pick minimum representatives.
+func LabelBFS(im *image.Image, conn image.Connectivity, mode Mode) *image.Labels {
+	out := image.NewLabels(im.N)
+	n := im.N
+	TileLabeler(im.Pix, n, n, conn, mode,
+		func(i, j int) uint32 { return uint32(i*n+j) + 1 }, out.Lab, nil)
+	return out
+}
+
+// FloodRelabel relabels, within one tile, the connected like-colored
+// component containing seed to newLabel, using BFS over colors (not over
+// old labels, so it is correct whether or not border pixels were already
+// relabeled). visited must be a zeroed scratch bitmap of rows*cols bools;
+// it is cleaned up before returning. This is the final interior update of
+// Section 5.3.
+func FloodRelabel(pix, labels []uint32, rows, cols int, conn image.Connectivity, mode Mode,
+	seed int32, newLabel uint32, visited []bool, queue []int32) []int32 {
+	offs := conn.Offsets()
+	if queue == nil {
+		queue = make([]int32, 0, 64)
+	}
+	queue = append(queue[:0], seed)
+	visited[seed] = true
+	labels[seed] = newLabel
+	head := 0
+	for head < len(queue) {
+		u := int(queue[head])
+		head++
+		ui, uj := u/cols, u%cols
+		for _, d := range offs {
+			vi, vj := ui+d[0], uj+d[1]
+			if vi < 0 || vi >= rows || vj < 0 || vj >= cols {
+				continue
+			}
+			v := vi*cols + vj
+			if visited[v] || !mode.Connected(pix[u], pix[v]) {
+				continue
+			}
+			visited[v] = true
+			labels[v] = newLabel
+			queue = append(queue, int32(v))
+		}
+	}
+	// Restore the scratch bitmap for the next flood.
+	for _, u := range queue {
+		visited[u] = false
+	}
+	return queue
+}

@@ -1,0 +1,163 @@
+// Package sortutil implements the paper's hybrid sorting strategy: a
+// four-pass byte-wise radix sort (256 buckets per pass, footnote 4) for
+// large inputs, falling back to "the standard UNIX quicker-sort" for small
+// ones (footnote 3) — whichever is fastest for the given input size.
+package sortutil
+
+import "sort"
+
+// RadixCutoff is the input size below which the hybrid sorts use
+// comparison sorting instead of radix passes. Chosen empirically on the
+// benchmark in sortutil_bench_test.go; the paper likewise selects
+// "whichever sorting method is fastest for the given input size".
+const RadixCutoff = 256
+
+// SortUint32 sorts keys ascending using the hybrid strategy.
+func SortUint32(keys []uint32) {
+	if len(keys) < RadixCutoff {
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		return
+	}
+	RadixSortUint32(keys)
+}
+
+// RadixSortUint32 is the four-pass byte-wise LSD radix sort on 32-bit keys:
+// each pass sorts on one byte of the key using 256 buckets, so the total
+// work is O(4(n + 256)) regardless of key distribution.
+func RadixSortUint32(keys []uint32) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	tmp := make([]uint32, n)
+	var count [256]int
+	src, dst := keys, tmp
+	for pass := 0; pass < 4; pass++ {
+		shift := uint(pass * 8)
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range src {
+			count[(k>>shift)&0xff]++
+		}
+		if count[int((src[0]>>shift)&0xff)] == n {
+			// Every key has the same byte in this position; the
+			// pass would be the identity permutation.
+			continue
+		}
+		pos := 0
+		for i := range count {
+			c := count[i]
+			count[i] = pos
+			pos += c
+		}
+		for _, k := range src {
+			b := (k >> shift) & 0xff
+			dst[count[b]] = k
+			count[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+}
+
+// Pair is a (key, value) record sorted by Key. The connected components
+// algorithm sorts border pixels by label (value = pixel position) and
+// change arrays by old label (value = new label).
+type Pair struct {
+	Key   uint32
+	Value uint32
+}
+
+// SortPairs sorts pairs ascending by Key (stable across equal keys for the
+// radix path; the comparison path breaks ties by Value to stay
+// deterministic).
+func SortPairs(pairs []Pair) {
+	if len(pairs) < RadixCutoff {
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a].Key != pairs[b].Key {
+				return pairs[a].Key < pairs[b].Key
+			}
+			return pairs[a].Value < pairs[b].Value
+		})
+		return
+	}
+	RadixSortPairs(pairs)
+}
+
+// RadixSortPairs is the four-pass byte-wise LSD radix sort on Pair.Key.
+// It is stable.
+func RadixSortPairs(pairs []Pair) {
+	n := len(pairs)
+	if n < 2 {
+		return
+	}
+	tmp := make([]Pair, n)
+	var count [256]int
+	src, dst := pairs, tmp
+	for pass := 0; pass < 4; pass++ {
+		shift := uint(pass * 8)
+		for i := range count {
+			count[i] = 0
+		}
+		for _, p := range src {
+			count[(p.Key>>shift)&0xff]++
+		}
+		if count[int((src[0].Key>>shift)&0xff)] == n {
+			continue
+		}
+		pos := 0
+		for i := range count {
+			c := count[i]
+			count[i] = pos
+			pos += c
+		}
+		for _, p := range src {
+			b := (p.Key >> shift) & 0xff
+			dst[count[b]] = p
+			count[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &pairs[0] {
+		copy(pairs, src)
+	}
+}
+
+// UniquePairs compacts a Key-sorted pair slice to its first occurrence per
+// Key, in place, returning the shortened slice (Step 3 of Procedure 1:
+// "scan down the sorted array, copying all unique pairs into a new array").
+func UniquePairs(pairs []Pair) []Pair {
+	if len(pairs) == 0 {
+		return pairs
+	}
+	out := 1
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Key != pairs[out-1].Key {
+			pairs[out] = pairs[i]
+			out++
+		}
+	}
+	return pairs[:out]
+}
+
+// SearchPairs returns the Value for key in a Key-sorted, deduplicated pair
+// slice, or (0, false) if absent. This is the binary search the label
+// update step performs per border pixel.
+func SearchPairs(pairs []Pair, key uint32) (uint32, bool) {
+	lo, hi := 0, len(pairs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pairs[mid].Key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(pairs) && pairs[lo].Key == key {
+		return pairs[lo].Value, true
+	}
+	return 0, false
+}

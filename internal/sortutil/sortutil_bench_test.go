@@ -1,0 +1,75 @@
+package sortutil
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The crossover benchmark behind RadixCutoff: compare the radix sorts
+// against the comparison sorts across sizes, mirroring the paper's
+// footnote 3 ("using whichever sorting method is fastest for the given
+// input size" — quicker-sort for smaller sorts, radix sort for larger).
+//
+//	go test -bench Crossover ./internal/sortutil/
+
+func randKeys(n int, rng *rand.Rand) []uint32 {
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = rng.Uint32()
+	}
+	return keys
+}
+
+func BenchmarkSortCrossover(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{32, 128, 256, 1024, 16384} {
+		src := randKeys(n, rng)
+		buf := make([]uint32, n)
+		b.Run(fmt.Sprintf("radix/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				RadixSortUint32(buf)
+			}
+		})
+		b.Run(fmt.Sprintf("comparison/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				sort.Slice(buf, func(a, c int) bool { return buf[a] < buf[c] })
+			}
+		})
+	}
+}
+
+func BenchmarkSortPairs(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{256, 16384} {
+		src := make([]Pair, n)
+		for i := range src {
+			src[i] = Pair{Key: rng.Uint32(), Value: uint32(i)}
+		}
+		buf := make([]Pair, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				SortPairs(buf)
+			}
+		})
+	}
+}
+
+func BenchmarkSearchPairs(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 4096
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		pairs[i] = Pair{Key: rng.Uint32(), Value: uint32(i)}
+	}
+	SortPairs(pairs)
+	pairs = UniquePairs(pairs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SearchPairs(pairs, uint32(i))
+	}
+}

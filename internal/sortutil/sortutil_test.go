@@ -1,0 +1,187 @@
+package sortutil
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func isSortedU32(s []uint32) bool {
+	return sort.SliceIsSorted(s, func(a, b int) bool { return s[a] < s[b] })
+}
+
+func TestRadixSortUint32Basic(t *testing.T) {
+	cases := [][]uint32{
+		nil,
+		{},
+		{5},
+		{2, 1},
+		{1, 2, 3},
+		{3, 2, 1},
+		{7, 7, 7},
+		{0, ^uint32(0), 1 << 31, 255, 256, 65535, 65536},
+	}
+	for _, c := range cases {
+		got := append([]uint32(nil), c...)
+		RadixSortUint32(got)
+		want := append([]uint32(nil), c...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("RadixSortUint32(%v) = %v, want %v", c, got, want)
+			}
+		}
+	}
+}
+
+func TestRadixSortUint32PropertySorted(t *testing.T) {
+	f := func(keys []uint32) bool {
+		RadixSortUint32(keys)
+		return isSortedU32(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadixSortUint32PropertyPermutation(t *testing.T) {
+	f := func(keys []uint32) bool {
+		counts := map[uint32]int{}
+		for _, k := range keys {
+			counts[k]++
+		}
+		RadixSortUint32(keys)
+		for _, k := range keys {
+			counts[k]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortUint32BothPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 10, RadixCutoff - 1, RadixCutoff, RadixCutoff + 1, 10000} {
+		keys := make([]uint32, n)
+		for i := range keys {
+			keys[i] = rng.Uint32()
+		}
+		SortUint32(keys)
+		if !isSortedU32(keys) {
+			t.Fatalf("SortUint32 failed at n=%d", n)
+		}
+	}
+}
+
+func TestRadixSortPairsStable(t *testing.T) {
+	// Equal keys must keep their input order (stability), which the
+	// connected components merge relies on only for determinism, but we
+	// guarantee it anyway.
+	n := 5000
+	pairs := make([]Pair, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range pairs {
+		pairs[i] = Pair{Key: uint32(rng.Intn(50)), Value: uint32(i)}
+	}
+	RadixSortPairs(pairs)
+	for i := 1; i < n; i++ {
+		if pairs[i].Key < pairs[i-1].Key {
+			t.Fatal("pairs not sorted by key")
+		}
+		if pairs[i].Key == pairs[i-1].Key && pairs[i].Value < pairs[i-1].Value {
+			t.Fatal("radix sort not stable")
+		}
+	}
+}
+
+func TestSortPairsProperty(t *testing.T) {
+	f := func(keys []uint32) bool {
+		pairs := make([]Pair, len(keys))
+		for i, k := range keys {
+			pairs[i] = Pair{Key: k, Value: uint32(i)}
+		}
+		SortPairs(pairs)
+		for i := 1; i < len(pairs); i++ {
+			if pairs[i].Key < pairs[i-1].Key {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniquePairs(t *testing.T) {
+	cases := []struct {
+		in   []Pair
+		want []Pair
+	}{
+		{nil, nil},
+		{[]Pair{{1, 10}}, []Pair{{1, 10}}},
+		{[]Pair{{1, 10}, {1, 11}, {2, 20}}, []Pair{{1, 10}, {2, 20}}},
+		{[]Pair{{3, 1}, {3, 1}, {3, 1}}, []Pair{{3, 1}}},
+		{[]Pair{{1, 1}, {2, 2}, {3, 3}}, []Pair{{1, 1}, {2, 2}, {3, 3}}},
+	}
+	for _, c := range cases {
+		got := UniquePairs(append([]Pair(nil), c.in...))
+		if len(got) != len(c.want) {
+			t.Fatalf("UniquePairs(%v) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("UniquePairs(%v) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestSearchPairs(t *testing.T) {
+	pairs := []Pair{{2, 20}, {5, 50}, {9, 90}, {100, 1}}
+	for _, tc := range []struct {
+		key  uint32
+		want uint32
+		ok   bool
+	}{
+		{2, 20, true}, {5, 50, true}, {9, 90, true}, {100, 1, true},
+		{0, 0, false}, {3, 0, false}, {99, 0, false}, {101, 0, false},
+	} {
+		got, ok := SearchPairs(pairs, tc.key)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("SearchPairs(%d) = (%d, %v), want (%d, %v)", tc.key, got, ok, tc.want, tc.ok)
+		}
+	}
+	if _, ok := SearchPairs(nil, 5); ok {
+		t.Error("SearchPairs(nil) should miss")
+	}
+}
+
+func TestSearchPairsPropertyFindsAll(t *testing.T) {
+	f := func(keys []uint32) bool {
+		pairs := make([]Pair, len(keys))
+		for i, k := range keys {
+			pairs[i] = Pair{Key: k, Value: k ^ 0xdeadbeef}
+		}
+		SortPairs(pairs)
+		pairs = UniquePairs(pairs)
+		for _, k := range keys {
+			v, ok := SearchPairs(pairs, k)
+			if !ok || v != k^0xdeadbeef {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

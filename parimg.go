@@ -1,0 +1,373 @@
+// Package parimg is a reproduction of Bader and JaJa, "Parallel Algorithms
+// for Image Histogramming and Connected Components with an Experimental
+// Study" (PPoPP 1995): portable SPMD algorithms for image histogramming and
+// connected component labeling on a single-address-space distributed-memory
+// model, together with the Block Distributed Memory (BDM) machine simulator
+// they are measured on.
+//
+// The public API wraps the internal packages:
+//
+//   - images and test patterns (the paper's Figure 1 catalog, random
+//     images, and a synthetic DARPA benchmark scene),
+//   - machine profiles for the five platforms of the paper's study,
+//   - a Simulator that runs the parallel algorithms on p simulated
+//     processors and reports both results and modeled execution costs, and
+//   - sequential baselines.
+//
+// A minimal session:
+//
+//	im := parimg.GeneratePattern(parimg.DualSpiral, 512)
+//	sim, _ := parimg.NewSimulator(32, parimg.CM5)
+//	res, _ := sim.Label(im, parimg.LabelOptions{})
+//	fmt.Println(res.Components, res.Report.SimTime)
+package parimg
+
+import (
+	"fmt"
+	"io"
+
+	"parimg/internal/bdm"
+	"parimg/internal/cc"
+	"parimg/internal/hist"
+	"parimg/internal/image"
+	"parimg/internal/machine"
+	"parimg/internal/recognize"
+	"parimg/internal/seq"
+)
+
+// Re-exported core types. The aliases keep one set of concrete types across
+// the public API and the internal algorithm packages.
+type (
+	// Image is an n x n grey-level image; 0 is background.
+	Image = image.Image
+	// Labels is a per-pixel component labeling.
+	Labels = image.Labels
+	// Connectivity selects 4- or 8-connectivity.
+	Connectivity = image.Connectivity
+	// Mode selects binary or grey-scale component semantics.
+	Mode = seq.Mode
+	// PatternID identifies one of the nine catalog test images.
+	PatternID = image.PatternID
+	// MachineSpec is a BDM cost profile of a target machine.
+	MachineSpec = bdm.CostParams
+	// Report is the simulated execution report of a parallel run.
+	Report = bdm.Report
+)
+
+// Connectivity and mode constants.
+const (
+	Conn4 = image.Conn4
+	Conn8 = image.Conn8
+
+	Binary = seq.Binary
+	Grey   = seq.Grey
+)
+
+// The nine scalable binary test patterns of the paper's Figure 1.
+const (
+	HorizontalBars      = image.HorizontalBars
+	VerticalBars        = image.VerticalBars
+	ForwardDiagonalBars = image.ForwardDiagonalBars
+	BackDiagonalBars    = image.BackDiagonalBars
+	Cross               = image.Cross
+	FilledDisc          = image.FilledDisc
+	ConcentricCircles   = image.ConcentricCircles
+	FourSquares         = image.FourSquares
+	DualSpiral          = image.DualSpiral
+)
+
+// Machine profiles of the paper's experimental platforms.
+var (
+	CM5     = machine.CM5
+	SP1     = machine.SP1
+	SP2     = machine.SP2
+	CS2     = machine.CS2
+	Paragon = machine.Paragon
+	Ideal   = machine.Ideal
+)
+
+// Machines returns the five machines of the paper's study.
+func Machines() []MachineSpec { return machine.All() }
+
+// MachineByName resolves a short machine name (cm5, sp1, sp2, cs2, paragon,
+// ideal), case-insensitively.
+func MachineByName(name string) (MachineSpec, error) { return machine.ByName(name) }
+
+// NewImage returns an all-background n x n image.
+func NewImage(n int) *Image { return image.New(n) }
+
+// GeneratePattern renders catalog pattern id at side n.
+func GeneratePattern(id PatternID, n int) *Image { return image.Generate(id, n) }
+
+// AllPatterns lists the nine catalog patterns in Figure 1 order.
+func AllPatterns() []PatternID { return image.AllPatterns() }
+
+// RandomBinary returns a deterministic random binary image with the given
+// foreground density.
+func RandomBinary(n int, density float64, seed uint64) *Image {
+	return image.RandomBinary(n, density, seed)
+}
+
+// RandomGrey returns a deterministic random image with k grey levels.
+func RandomGrey(n, k int, seed uint64) *Image { return image.RandomGrey(n, k, seed) }
+
+// DARPAImage returns the synthetic 512 x 512, 256 grey-level stand-in for
+// the DARPA Image Understanding Benchmark image (Figure 2); see DESIGN.md
+// for the substitution rationale.
+func DARPAImage() *Image { return image.DARPASynthetic() }
+
+// Simulator is a p-processor simulated distributed-memory machine running
+// the paper's parallel algorithms under the BDM cost model.
+type Simulator struct {
+	m *bdm.Machine
+	p int
+}
+
+// NewSimulator creates a simulator with p processors (a power of two) and
+// the given machine profile.
+func NewSimulator(p int, spec MachineSpec) (*Simulator, error) {
+	if p <= 0 || p&(p-1) != 0 {
+		return nil, fmt.Errorf("parimg: p must be a positive power of two, got %d", p)
+	}
+	m, err := bdm.NewMachine(p, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{m: m, p: p}, nil
+}
+
+// P returns the number of simulated processors.
+func (s *Simulator) P() int { return s.p }
+
+// HistogramResult is the outcome of a parallel histogramming run.
+type HistogramResult struct {
+	// H[i] is the number of pixels with grey level i.
+	H []int64
+	// Report carries the modeled execution costs.
+	Report Report
+}
+
+// Histogram computes the k-bar histogram of im on the simulated machine
+// (Section 4 of the paper). k must be a power of two and the image must
+// tile evenly across the processors.
+func (s *Simulator) Histogram(im *Image, k int) (*HistogramResult, error) {
+	res, err := hist.Run(s.m, im, k)
+	if err != nil {
+		return nil, err
+	}
+	return &HistogramResult{H: res.H, Report: res.Report}, nil
+}
+
+// EqualizeResult is the outcome of the parallel equalization pipeline.
+type EqualizeResult struct {
+	// Image is the equalized image (background preserved).
+	Image *Image
+	// H is the histogram of the input image.
+	H []int64
+	// Report carries the modeled execution costs of the full pipeline.
+	Report Report
+}
+
+// Equalize runs the paper's Section 4 motivating application end to end on
+// the simulated machine: parallel histogram, equalization map built on
+// processor 0, map broadcast with the two-transposition Algorithm 2, and
+// local remapping of every tile.
+func (s *Simulator) Equalize(im *Image, k int) (*EqualizeResult, error) {
+	res, err := hist.Equalize(s.m, im, k)
+	if err != nil {
+		return nil, err
+	}
+	return &EqualizeResult{Image: res.Image, H: res.H, Report: res.Report}, nil
+}
+
+// OtsuThreshold returns the grey level maximizing between-class variance of
+// a histogram's foreground levels — the classic automatic threshold for
+// segmenting a grey image before binary component labeling.
+func OtsuThreshold(h []int64) int { return hist.OtsuThreshold(h) }
+
+// Threshold returns the binary image with foreground where im's grey level
+// is at least t.
+func Threshold(im *Image, t uint32) *Image {
+	out := NewImage(im.N)
+	for i, v := range im.Pix {
+		if v >= t && v > 0 {
+			out.Pix[i] = 1
+		}
+	}
+	return out
+}
+
+// StageBreakdown is the per-stage simulated time split of a labeling run.
+type StageBreakdown = cc.Breakdown
+
+// LabelOptions configure connected component labeling. The zero value is
+// the paper's default: 8-connectivity, binary mode.
+type LabelOptions struct {
+	// Conn is the adjacency; default 8-connectivity.
+	Conn Connectivity
+	// Mode is Binary or Grey; default Binary.
+	Mode Mode
+	// DirectDistribution uses the unimproved change-array distribution
+	// (every client pulls the full array from its group manager) instead
+	// of the transpose-based scheme of Section 5.4.
+	DirectDistribution bool
+	// NoShadowManager makes group managers prefetch and sort both border
+	// sides themselves.
+	NoShadowManager bool
+	// FullRelabel relabels whole tiles after every merge instead of the
+	// paper's limited border-and-hooks updating.
+	FullRelabel bool
+}
+
+// CCResult is the outcome of a parallel connected components run.
+type CCResult struct {
+	// Labels holds the final labeling; labels are canonical (global
+	// row-major index of the component's first pixel, plus one).
+	Labels *Labels
+	// Components is the number of components found.
+	Components int
+	// Report carries the modeled execution costs.
+	Report Report
+	// MergePhases is log p, the number of merge iterations performed.
+	MergePhases int
+	// Stages is the per-stage simulated time breakdown (initialization,
+	// each merge iteration, final update). Only Label fills it; the
+	// baseline algorithms leave it zero.
+	Stages StageBreakdown
+}
+
+// Label computes the connected components of im on the simulated machine
+// (Sections 5 and 6 of the paper).
+func (s *Simulator) Label(im *Image, opt LabelOptions) (*CCResult, error) {
+	o := cc.Options{
+		Conn:        opt.Conn,
+		Mode:        opt.Mode,
+		NoShadow:    opt.NoShadowManager,
+		FullRelabel: opt.FullRelabel,
+	}
+	if opt.DirectDistribution {
+		o.ChangeDist = cc.DistDirect
+	}
+	res, err := cc.Run(s.m, im, o)
+	if err != nil {
+		return nil, err
+	}
+	return &CCResult{
+		Labels:      res.Labels,
+		Components:  res.Components,
+		Report:      res.Report,
+		MergePhases: res.Phases,
+		Stages:      res.Stages,
+	}, nil
+}
+
+// ComponentStat summarizes one labeled component (area, bounding box,
+// centroid, grey level) — the per-object measurements of the recognition
+// task the paper's Table 2 benchmarks.
+type ComponentStat = image.ComponentStat
+
+// CensusResult is the outcome of a parallel component census.
+type CensusResult struct {
+	// Stats holds one entry per component, sorted by decreasing size —
+	// identical to the host-side Census.
+	Stats []ComponentStat
+	// Report carries the modeled execution costs.
+	Report Report
+}
+
+// Census computes the per-component statistics of a labeling on the
+// simulated machine: each processor builds partial records for its tile
+// and processor 0 merges them by label. The result equals the host-side
+// Census exactly.
+func (s *Simulator) Census(im *Image, labels *Labels) (*CensusResult, error) {
+	res, err := cc.Census(s.m, im, labels)
+	if err != nil {
+		return nil, err
+	}
+	return &CensusResult{Stats: res.Stats, Report: res.Report}, nil
+}
+
+// Census computes per-component statistics of a labeling over its source
+// image, sorted by decreasing size.
+func Census(l *Labels, im *Image) []ComponentStat { return l.Census(im) }
+
+// Object is a classified component; ObjectClass is its coarse shape class.
+type (
+	Object      = recognize.Object
+	ObjectClass = recognize.Class
+)
+
+// Shape classes recognized by ClassifyObjects.
+const (
+	ClassBlob      = recognize.Blob
+	ClassBar       = recognize.Bar
+	ClassRectangle = recognize.Rectangle
+	ClassDisc      = recognize.Disc
+	ClassRing      = recognize.Ring
+	ClassSpeck     = recognize.Speck
+)
+
+// ClassifyObjects classifies every labeled component into a coarse shape
+// class from its region features — the recognition step of the DARPA
+// benchmark task the paper cites. Results are in decreasing size order.
+func ClassifyObjects(l *Labels, im *Image) []Object { return recognize.Classify(l, im) }
+
+// Equalize returns the histogram-equalized image given its k-bucket
+// histogram (e.g. from Simulator.Histogram); background is preserved.
+func Equalize(im *Image, h []int64) *Image { return image.Equalize(im, h) }
+
+// ReadPGM reads a binary (P5) PGM image; it must be square.
+func ReadPGM(r io.Reader) (*Image, error) { return image.ReadPGM(r) }
+
+// WritePGM writes an image as a binary (P5) PGM with the given maximum
+// grey value.
+func WritePGM(w io.Writer, im *Image, maxVal int) error { return im.WritePGM(w, maxVal) }
+
+// LabelByPropagation labels connected components with the iterative
+// label-diffusion baseline (local relabel + neighbor exchange to a global
+// fixed point), the approach of several Table 2 competitors. It produces
+// the same canonical labeling as Label but needs a number of iterations
+// proportional to the largest component's diameter in tiles, against
+// Label's fixed log p merges; CCResult.MergePhases reports the iteration
+// count. Only Conn and Mode of the options are honored.
+func (s *Simulator) LabelByPropagation(im *Image, opt LabelOptions) (*CCResult, error) {
+	res, err := cc.RunPropagation(s.m, im, cc.Options{Conn: opt.Conn, Mode: opt.Mode})
+	if err != nil {
+		return nil, err
+	}
+	return &CCResult{
+		Labels:      res.Labels,
+		Components:  res.Components,
+		Report:      res.Report,
+		MergePhases: res.Phases,
+	}, nil
+}
+
+// LabelByPointerJumping labels connected components with the PRAM-style
+// pointer-jumping baseline (Shiloach-Vishkin family, Table 2's
+// "Shiloach/Vishkin alg." lineage). It produces the same canonical
+// labeling as Label but performs a data-dependent remote read per pixel
+// per iteration, which is why such algorithms port poorly to distributed
+// memory; CCResult.MergePhases reports the iteration count. Only Conn and
+// Mode of the options are honored; p must divide the image side.
+func (s *Simulator) LabelByPointerJumping(im *Image, opt LabelOptions) (*CCResult, error) {
+	res, err := cc.RunShiloachVishkin(s.m, im, cc.Options{Conn: opt.Conn, Mode: opt.Mode})
+	if err != nil {
+		return nil, err
+	}
+	return &CCResult{
+		Labels:      res.Labels,
+		Components:  res.Components,
+		Report:      res.Report,
+		MergePhases: res.Phases,
+	}, nil
+}
+
+// HistogramSequential is the single-processor baseline histogram.
+func HistogramSequential(im *Image, k int) ([]int64, error) { return im.Histogram(k) }
+
+// LabelSequential is the single-processor baseline labeling, the paper's
+// row-major BFS algorithm of Section 5.1 applied to the whole image.
+func LabelSequential(im *Image, conn Connectivity, mode Mode) *Labels {
+	return seq.LabelBFS(im, conn, mode)
+}
