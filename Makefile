@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples clean
+.PHONY: all build test race cover bench bench-short bench-json experiments examples clean
 
 all: build test
 
@@ -21,6 +21,15 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: a fast smoke test that the benchmark
+# code itself still runs (used by CI).
+bench-short:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Regenerate BENCH_parallel.json (host-parallel vs sequential wall clock).
+bench-json:
+	$(GO) run ./cmd/benchjson
 
 experiments:
 	$(GO) run ./cmd/experiments all

@@ -1,0 +1,135 @@
+// Command benchjson measures the wall-clock speedup of the host-parallel
+// labeling engine over the sequential baseline and writes the result as
+// JSON (default BENCH_parallel.json) for tracking across commits.
+//
+// Each measurement labels the dual-spiral pattern — the catalog's
+// worst case for border merging — repeatedly for at least -mintime per
+// backend and keeps the fastest iteration, the usual go-bench style
+// floor of scheduling noise. GOMAXPROCS and NumCPU are recorded so a
+// reader can tell a 1-core container (speedup ~1x is the best possible)
+// from a real multicore host.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"parimg"
+)
+
+type sizeResult struct {
+	N            int     `json:"n"`
+	Pattern      string  `json:"pattern"`
+	SeqNS        int64   `json:"sequential_ns"`
+	ParNS        int64   `json:"parallel_ns"`
+	Speedup      float64 `json:"speedup"`
+	ParMPixPerS  float64 `json:"parallel_mpix_per_s"`
+	SeqMPixPerS  float64 `json:"sequential_mpix_per_s"`
+	Components   int     `json:"components"`
+	LabelsAgreed bool    `json:"labels_identical"`
+}
+
+type report struct {
+	Benchmark  string       `json:"benchmark"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numcpu"`
+	Workers    int          `json:"workers"`
+	Conn       string       `json:"connectivity"`
+	Sizes      []sizeResult `json:"sizes"`
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "BENCH_parallel.json", "output file")
+		workers = flag.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+		minTime = flag.Duration("mintime", 300*time.Millisecond, "minimum measuring time per backend per size")
+	)
+	flag.Parse()
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	rep := report{
+		Benchmark:  "LabelParallel vs LabelSequential, dual-spiral, Conn8, binary",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    w,
+		Conn:       parimg.Conn8.String(),
+	}
+
+	for _, n := range []int{512, 1024} {
+		im := parimg.GeneratePattern(parimg.DualSpiral, n)
+		eng := parimg.NewParallelEngine(w)
+		parOut := parimg.NewLabels(n)
+
+		seqNS := best(*minTime, func() {
+			parimg.LabelSequential(im, parimg.Conn8, parimg.Binary)
+		})
+		var comps int
+		parNS := best(*minTime, func() {
+			comps = eng.LabelInto(im, parimg.Conn8, parimg.Binary, parOut)
+		})
+
+		want := parimg.LabelSequential(im, parimg.Conn8, parimg.Binary)
+		agree := true
+		for i := range want.Lab {
+			if want.Lab[i] != parOut.Lab[i] {
+				agree = false
+				break
+			}
+		}
+
+		pix := float64(n * n)
+		rep.Sizes = append(rep.Sizes, sizeResult{
+			N:            n,
+			Pattern:      "dual-spiral",
+			SeqNS:        seqNS,
+			ParNS:        parNS,
+			Speedup:      float64(seqNS) / float64(parNS),
+			SeqMPixPerS:  pix / (float64(seqNS) / 1e9) / 1e6,
+			ParMPixPerS:  pix / (float64(parNS) / 1e9) / 1e6,
+			Components:   comps,
+			LabelsAgreed: agree,
+		})
+		fmt.Printf("n=%d: seq %v, par %v (workers=%d), speedup %.2fx, identical=%v\n",
+			n, time.Duration(seqNS), time.Duration(parNS), w,
+			float64(seqNS)/float64(parNS), agree)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (gomaxprocs=%d, numcpu=%d)\n", *out, rep.GoMaxProcs, rep.NumCPU)
+}
+
+// best runs fn repeatedly for at least minTime and returns the fastest
+// single-iteration wall time in nanoseconds.
+func best(minTime time.Duration, fn func()) int64 {
+	var fastest int64 = 1<<63 - 1
+	deadline := time.Now().Add(minTime)
+	for time.Now().Before(deadline) {
+		start := time.Now()
+		fn()
+		if d := time.Since(start).Nanoseconds(); d < fastest {
+			fastest = d
+		}
+	}
+	return fastest
+}

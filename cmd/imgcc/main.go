@@ -1,19 +1,24 @@
-// Command imgcc labels the connected components of an image on a simulated
-// parallel machine and prints the component census and the modeled
-// execution costs.
+// Command imgcc labels the connected components of an image and prints the
+// component census. Three backends are available: the BDM simulator
+// (-backend sim, the default, which also reports modeled execution costs),
+// the host-parallel engine (-backend par, real goroutines, real wall
+// clock), and the sequential baseline (-backend seq).
 //
 // Examples:
 //
 //	imgcc -pattern concentric-circles -n 512 -machine cm5 -p 32
 //	imgcc -darpa -grey -machine sp2 -p 64
 //	imgcc -random 0.593 -n 1024 -conn 4
+//	imgcc -pattern dual-spiral -n 1024 -backend par
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	"parimg"
 )
@@ -35,12 +40,37 @@ func main() {
 		noShadow    = flag.Bool("no-shadow", false, "disable shadow managers")
 		fullRelabel = flag.Bool("full-relabel", false, "relabel whole tiles every merge (disable limited updating)")
 		compare     = flag.Bool("compare", false, "run all three parallel algorithms and compare")
+		backend     = flag.String("backend", "sim", "execution backend: sim (BDM simulator), par (host-parallel), seq (sequential)")
+		workers     = flag.Int("workers", 0, "worker goroutines for -backend par (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	im, err := loadImage(*patternName, *random, *darpa, *inFile, *n, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
+		os.Exit(1)
+	}
+	opt0 := parimg.LabelOptions{
+		Conn:               parimg.Connectivity(*conn),
+		DirectDistribution: *direct,
+		NoShadowManager:    *noShadow,
+		FullRelabel:        *fullRelabel,
+	}
+	if *grey {
+		opt0.Mode = parimg.Grey
+	}
+	switch *backend {
+	case "sim":
+		// fall through to the simulator below
+	case "par", "seq":
+		if *conn != 4 && *conn != 8 {
+			fmt.Fprintf(os.Stderr, "imgcc: invalid connectivity %d (want 4 or 8)\n", *conn)
+			os.Exit(1)
+		}
+		runHost(*backend, im, opt0, *workers, *top)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "imgcc: unknown backend %q (want sim, par or seq)\n", *backend)
 		os.Exit(1)
 	}
 	spec, err := parimg.MachineByName(*machineName)
@@ -53,15 +83,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
 		os.Exit(1)
 	}
-	opt := parimg.LabelOptions{
-		Conn:               parimg.Connectivity(*conn),
-		DirectDistribution: *direct,
-		NoShadowManager:    *noShadow,
-		FullRelabel:        *fullRelabel,
-	}
-	if *grey {
-		opt.Mode = parimg.Grey
-	}
+	opt := opt0
 	if *compare {
 		compareAlgorithms(sim, im, opt, spec.Name, *p)
 		return
@@ -75,34 +97,73 @@ func main() {
 	fmt.Printf("%s, p=%d, %dx%d image, %v, %v mode\n",
 		spec.Name, *p, im.N, im.N, opt.Conn, opt.Mode)
 	fmt.Printf("%d connected components in %d merge phases\n", res.Components, res.MergePhases)
-	if *top > 0 {
-		sizes := res.Labels.ComponentSizes()
-		type comp struct {
-			label uint32
-			size  int
-		}
-		all := make([]comp, 0, len(sizes))
-		for l, s := range sizes {
-			all = append(all, comp{l, s})
-		}
-		sort.Slice(all, func(a, b int) bool {
-			if all[a].size != all[b].size {
-				return all[a].size > all[b].size
-			}
-			return all[a].label < all[b].label
-		})
-		if len(all) > *top {
-			all = all[:*top]
-		}
-		for i, c := range all {
-			fmt.Printf("  #%-2d label %-8d %d pixels\n", i+1, c.label, c.size)
-		}
-	}
+	printTop(res.Labels, *top)
 	r := res.Report
 	fmt.Printf("simulated time %.6g s (computation %.6g s, communication %.6g s)\n",
 		r.SimTime, r.CompTime, r.CommTime)
 	fmt.Printf("work per pixel %.4g us, %d words moved, host wall time %v\n",
 		r.WorkPerPixel(im.N*im.N)*1e6, r.Words, r.Wall)
+}
+
+// runHost labels on the host itself — the parallel engine or the
+// sequential baseline — and reports real wall-clock time instead of the
+// simulator's modeled costs.
+func runHost(backend string, im *parimg.Image, opt parimg.LabelOptions, workers, top int) {
+	var (
+		labels *parimg.Labels
+		start  = time.Now()
+	)
+	if backend == "par" {
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		labels = parimg.NewParallelEngine(workers).Label(im, connOf(opt), opt.Mode)
+		elapsed := time.Since(start)
+		fmt.Printf("host-parallel, workers=%d (GOMAXPROCS=%d), %dx%d image, %v, %v mode\n",
+			workers, runtime.GOMAXPROCS(0), im.N, im.N, connOf(opt), opt.Mode)
+		fmt.Printf("%d connected components, wall time %v\n", labels.Components(), elapsed)
+	} else {
+		labels = parimg.LabelSequential(im, connOf(opt), opt.Mode)
+		elapsed := time.Since(start)
+		fmt.Printf("sequential baseline, %dx%d image, %v, %v mode\n", im.N, im.N, connOf(opt), opt.Mode)
+		fmt.Printf("%d connected components, wall time %v\n", labels.Components(), elapsed)
+	}
+	printTop(labels, top)
+}
+
+func connOf(opt parimg.LabelOptions) parimg.Connectivity {
+	if opt.Conn == 0 {
+		return parimg.Conn8
+	}
+	return opt.Conn
+}
+
+// printTop prints the sizes of the largest components, biggest first.
+func printTop(labels *parimg.Labels, top int) {
+	if top <= 0 {
+		return
+	}
+	sizes := labels.ComponentSizes()
+	type comp struct {
+		label uint32
+		size  int
+	}
+	all := make([]comp, 0, len(sizes))
+	for l, s := range sizes {
+		all = append(all, comp{l, s})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].size != all[b].size {
+			return all[a].size > all[b].size
+		}
+		return all[a].label < all[b].label
+	})
+	if len(all) > top {
+		all = all[:top]
+	}
+	for i, c := range all {
+		fmt.Printf("  #%-2d label %-8d %d pixels\n", i+1, c.label, c.size)
+	}
 }
 
 // compareAlgorithms runs the paper's merge algorithm and the two baselines

@@ -1,5 +1,8 @@
-// Command imghist histograms an image on a simulated parallel machine and
-// prints the histogram and the modeled execution costs.
+// Command imghist histograms an image and prints the histogram. Three
+// backends are available: the BDM simulator (-backend sim, the default,
+// which also reports modeled execution costs), the host-parallel engine
+// (-backend par, real goroutines, real wall clock), and the sequential
+// baseline (-backend seq).
 //
 // The image is either a generated test image (-pattern, -random, -darpa) or
 // a PGM file (-in). Examples:
@@ -7,12 +10,15 @@
 //	imghist -pattern dual-spiral -n 512 -k 2 -machine cm5 -p 32
 //	imghist -darpa -k 256 -machine sp2 -p 64
 //	imghist -in scene.pgm -k 256
+//	imghist -darpa -k 256 -backend par
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"parimg"
 )
@@ -30,12 +36,24 @@ func main() {
 		machineName = flag.String("machine", "cm5", "machine profile: cm5, sp1, sp2, cs2, paragon, ideal")
 		seed        = flag.Uint64("seed", 1, "seed for random images")
 		quiet       = flag.Bool("quiet", false, "print only the timing summary")
+		backend     = flag.String("backend", "sim", "execution backend: sim (BDM simulator), par (host-parallel), seq (sequential)")
+		workers     = flag.Int("workers", 0, "worker goroutines for -backend par (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	im, err := loadImage(*patternName, *random, *randomGrey, *darpa, *inFile, *n, *k, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
+		os.Exit(1)
+	}
+	switch *backend {
+	case "sim":
+		// fall through to the simulator below
+	case "par", "seq":
+		runHost(*backend, im, *k, *workers, *quiet)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "imghist: unknown backend %q (want sim, par or seq)\n", *backend)
 		os.Exit(1)
 	}
 	spec, err := parimg.MachineByName(*machineName)
@@ -67,6 +85,44 @@ func main() {
 		r.SimTime, r.CompTime, r.CommTime)
 	fmt.Printf("work per pixel %.4g ns, %d words moved, host wall time %v\n",
 		r.WorkPerPixel(im.N*im.N)*1e9, r.Words, r.Wall)
+}
+
+// runHost histograms on the host itself — the parallel engine or the
+// sequential baseline — and reports real wall-clock time instead of the
+// simulator's modeled costs.
+func runHost(backend string, im *parimg.Image, k, workers int, quiet bool) {
+	var (
+		h     []int64
+		err   error
+		start = time.Now()
+	)
+	if backend == "par" {
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		h, err = parimg.NewParallelEngine(workers).Histogram(im, k)
+	} else {
+		h, err = parimg.HistogramSequential(im, k)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
+		os.Exit(1)
+	}
+	if !quiet {
+		for g, c := range h {
+			if c != 0 {
+				fmt.Printf("H[%3d] = %d\n", g, c)
+			}
+		}
+	}
+	if backend == "par" {
+		fmt.Printf("host-parallel, workers=%d (GOMAXPROCS=%d), %dx%d image, k=%d\n",
+			workers, runtime.GOMAXPROCS(0), im.N, im.N, k)
+	} else {
+		fmt.Printf("sequential baseline, %dx%d image, k=%d\n", im.N, im.N, k)
+	}
+	fmt.Printf("wall time %v\n", elapsed)
 }
 
 func loadImage(pattern string, density float64, grey, darpa bool, inFile string, n, k int, seed uint64) (*parimg.Image, error) {

@@ -23,6 +23,7 @@ package bdm
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -79,6 +80,13 @@ type Machine struct {
 	bar   *barrier
 	procs []*Proc
 
+	// jobs feeds the persistent worker pool: p goroutines, started
+	// lazily on the first Run and reused across Run calls, so repeated
+	// simulations do not respawn p goroutines each time.
+	jobs      chan func()
+	workersOn sync.Once
+	closeOnce sync.Once
+
 	// tracing enables span recording on every processor (see trace.go).
 	tracing bool
 
@@ -95,12 +103,36 @@ func NewMachine(p int, cost CostParams) (*Machine, error) {
 	if err := cost.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Machine{p: p, cost: cost, bar: newBarrier(p)}
+	m := &Machine{p: p, cost: cost, bar: newBarrier(p), jobs: make(chan func(), p)}
 	m.procs = make([]*Proc, p)
 	for i := range m.procs {
 		m.procs[i] = &Proc{m: m, rank: i}
 	}
+	// The pool workers hold only the jobs channel (never the Machine), so
+	// an unreachable Machine can be finalized to shut them down.
+	runtime.SetFinalizer(m, (*Machine).Close)
 	return m, nil
+}
+
+// poolWorker is one persistent worker goroutine. It deliberately references
+// only the jobs channel: per-Run closures carry the Proc and Machine, so an
+// idle pool does not keep its Machine reachable.
+func poolWorker(jobs <-chan func()) {
+	for {
+		job, ok := <-jobs
+		if !ok {
+			return
+		}
+		job()
+		job = nil // drop the closure so an idle pool pins nothing
+	}
+}
+
+// Close shuts down the worker pool. It must not be called while Run is in
+// flight; it is also installed as a finalizer so abandoned machines do not
+// leak their p goroutines.
+func (m *Machine) Close() {
+	m.closeOnce.Do(func() { close(m.jobs) })
 }
 
 // P returns the number of processors.
@@ -116,17 +148,24 @@ var ErrAborted = fmt.Errorf("bdm: SPMD program aborted")
 // Run executes body once per processor, concurrently, and returns the
 // aggregated execution report. It may be called several times on the same
 // machine; the simulated clocks continue from where the previous Run left
-// them (use Reset to zero them).
+// them (use Reset to zero them). The p processor bodies run on a persistent
+// pool of p goroutines, started on the first Run and reused by every
+// subsequent one.
 //
 // If any body panics, Run releases the other processors and returns an error
 // wrapping ErrAborted together with the panic value.
 func (m *Machine) Run(body func(*Proc)) (Report, error) {
+	m.workersOn.Do(func() {
+		for i := 0; i < m.p; i++ {
+			go poolWorker(m.jobs)
+		}
+	})
 	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(m.p)
 	for i := 0; i < m.p; i++ {
 		p := m.procs[i]
-		go func() {
+		m.jobs <- func() {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -137,7 +176,7 @@ func (m *Machine) Run(body func(*Proc)) (Report, error) {
 				}
 			}()
 			body(p)
-		}()
+		}
 	}
 	wg.Wait()
 	wall := time.Since(start)

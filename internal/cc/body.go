@@ -20,7 +20,7 @@ type hook struct {
 type procLocal struct {
 	hooks   []hook
 	queue   []int32
-	visited []bool
+	visited seq.Visited
 
 	// Manager/shadow scratch: positional colors and labels for the two
 	// border sides, and the label-sorted pair views.
@@ -71,7 +71,7 @@ type sharedState struct {
 	stages Breakdown
 }
 
-func newSharedState(m *bdm.Machine, lay image.Layout, im *image.Image, opt Options) *sharedState {
+func newSharedState(m *bdm.Machine, lay image.Layout) *sharedState {
 	p := m.P()
 	q, r := lay.Q, lay.R
 	n := lay.N
@@ -81,7 +81,6 @@ func newSharedState(m *bdm.Machine, lay image.Layout, im *image.Image, opt Optio
 	st := &sharedState{
 		m:      m,
 		lay:    lay,
-		opt:    opt,
 		phases: Phases(lay.V, lay.W),
 
 		tilePix: bdm.NewSpread[uint32](m, q*r),
@@ -107,10 +106,19 @@ func newSharedState(m *bdm.Machine, lay image.Layout, im *image.Image, opt Optio
 
 		locals: make([]procLocal, p),
 	}
-	for rank := 0; rank < p; rank++ {
-		lay.Scatter(im, rank, st.tilePix.Row(rank))
-	}
 	return st
+}
+
+// prepare loads a run's inputs into an allocated (possibly reused) shared
+// state: the image is scattered into the tile spreads and the per-run
+// options and stage marks are reset. Per-processor scratch keeps its grown
+// capacity across runs.
+func (st *sharedState) prepare(im *image.Image, opt Options) {
+	st.opt = opt
+	st.stages = Breakdown{}
+	for rank := 0; rank < st.m.P(); rank++ {
+		st.lay.Scatter(im, rank, st.tilePix.Row(rank))
+	}
 }
 
 // procMain is the SPMD program: Sections 5.1-5.4 (and 6, via Options.Mode).
@@ -169,9 +177,7 @@ func (st *sharedState) procMain(pr *bdm.Proc) {
 	// --- Final total consistency update (end of Section 5.3): flood
 	// each tile component whose hook label changed.
 	if !st.opt.FullRelabel {
-		if loc.visited == nil {
-			loc.visited = make([]bool, q*r)
-		}
+		loc.visited.Reset(q * r)
 		flooded := 0
 		for i := range loc.hooks {
 			h := &loc.hooks[i]
@@ -179,7 +185,7 @@ func (st *sharedState) procMain(pr *bdm.Proc) {
 				continue
 			}
 			loc.queue = seq.FloodRelabel(pix, lab, q, r, st.opt.Conn, st.opt.Mode,
-				h.off, h.cur, loc.visited, loc.queue)
+				h.off, h.cur, &loc.visited, loc.queue)
 			flooded += len(loc.queue)
 		}
 		pr.Work(opsPerPixelFlood*flooded + len(loc.hooks))

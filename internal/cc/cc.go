@@ -37,6 +37,7 @@ package cc
 
 import (
 	"fmt"
+	"sync"
 
 	"parimg/internal/bdm"
 	"parimg/internal/image"
@@ -151,14 +152,31 @@ func searchOps(c int) int {
 	return 2*bits + 2
 }
 
-// Run labels the connected components of im on machine m. The image must
-// tile evenly on m.P() processors (power of two). The image distribution
-// happens outside the timed region; the returned report covers
+// Engine runs the parallel algorithm repeatedly on one machine with reused
+// scratch: the ~15 spread arrays and all per-processor buffers of a run are
+// kept in a sync.Pool-backed arena keyed by image side (the processor count
+// is fixed by the machine), so repeated runs of same-sized images do
+// near-zero large allocations. An Engine is not safe for concurrent use,
+// matching the underlying Machine.
+type Engine struct {
+	m     *bdm.Machine
+	pools map[int]*sync.Pool // image side -> pool of *sharedState
+}
+
+// NewEngine returns an engine over machine m with an empty arena.
+func NewEngine(m *bdm.Machine) *Engine {
+	return &Engine{m: m, pools: make(map[int]*sync.Pool)}
+}
+
+// Run labels the connected components of im on the engine's machine. The
+// image must tile evenly on m.P() processors (power of two). The image
+// distribution happens outside the timed region; the returned report covers
 // initialization, merging and the final update, as in the paper.
-func Run(m *bdm.Machine, im *image.Image, opt Options) (*Result, error) {
+func (e *Engine) Run(im *image.Image, opt Options) (*Result, error) {
 	if err := opt.normalize(); err != nil {
 		return nil, err
 	}
+	m := e.m
 	lay, err := image.NewLayout(im.N, m.P())
 	if err != nil {
 		return nil, fmt.Errorf("cc: %w", err)
@@ -170,7 +188,13 @@ func Run(m *bdm.Machine, im *image.Image, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("cc: image side %d exceeds the 32-bit label space", im.N)
 	}
 
-	st := newSharedState(m, lay, im, opt)
+	pool := e.pools[im.N]
+	if pool == nil {
+		pool = &sync.Pool{New: func() any { return newSharedState(m, lay) }}
+		e.pools[im.N] = pool
+	}
+	st := pool.Get().(*sharedState)
+	st.prepare(im, opt)
 
 	m.Reset()
 	report, err := m.Run(func(pr *bdm.Proc) {
@@ -184,11 +208,20 @@ func Run(m *bdm.Machine, im *image.Image, opt Options) (*Result, error) {
 	for rank := 0; rank < m.P(); rank++ {
 		lay.GatherLabels(out, rank, st.tileLab.Row(rank))
 	}
-	return &Result{
+	res := &Result{
 		Labels:     out,
 		Components: out.Components(),
 		Report:     report,
 		Phases:     len(st.phases),
 		Stages:     st.stages,
-	}, nil
+	}
+	pool.Put(st)
+	return res, nil
+}
+
+// Run labels the connected components of im on machine m with a one-shot
+// Engine. Callers that label repeatedly should hold an Engine to reuse its
+// scratch arena.
+func Run(m *bdm.Machine, im *image.Image, opt Options) (*Result, error) {
+	return NewEngine(m).Run(im, opt)
 }

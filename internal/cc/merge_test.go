@@ -46,7 +46,8 @@ func TestSolveMergeTwoTiles(t *testing.T) {
 	if err := opt.normalize(); err != nil {
 		t.Fatal(err)
 	}
-	st := newSharedState(m, lay, im, opt)
+	st := newSharedState(m, lay)
+	st.prepare(im, opt)
 	ph := st.phases[0]
 	if ph.Orient != Horizontal {
 		t.Fatalf("first phase %v, want horizontal", ph.Orient)
@@ -125,7 +126,8 @@ func TestHooksTrackFinalLabels(t *testing.T) {
 	if err := opt.normalize(); err != nil {
 		t.Fatal(err)
 	}
-	st := newSharedState(m, lay, im, opt)
+	st := newSharedState(m, lay)
+	st.prepare(im, opt)
 	if _, err := m.Run(st.procMain); err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,7 @@ package hist
 
 import (
 	"fmt"
+	"sync"
 
 	"parimg/internal/bdm"
 	"parimg/internal/comm"
@@ -39,15 +40,52 @@ type Result struct {
 	Report bdm.Report
 }
 
-// Run histograms im with k grey levels on machine m. k must be a power of
-// two (the paper's assumption, w.l.o.g.); the image must tile evenly on
-// m.P() processors. The image distribution (each processor receiving its
-// tile) is performed outside the timed region, as the paper assumes the
-// image is already distributed.
-func Run(m *bdm.Machine, im *image.Image, k int) (*Result, error) {
+// histState is the set of spread arrays one histogram run needs; an Engine
+// pools them by (image side, k).
+type histState struct {
+	tiles, local, trans, combined, out *bdm.Spread[uint32]
+}
+
+func newHistState(m *bdm.Machine, lay image.Layout, k int) *histState {
+	p := m.P()
+	return &histState{
+		tiles: bdm.NewSpread[uint32](m, lay.Q*lay.R),
+		local: bdm.NewSpread[uint32](m, k), // Hi: per-processor tallies
+		// trans holds k/p rows of the k x p tally matrix when k >= p,
+		// or one whole row (p elements) when k < p.
+		trans:    bdm.NewSpread[uint32](m, max(k, p)),
+		combined: bdm.NewSpread[uint32](m, max(k/p, 1)),
+		// out row 0 receives the final histogram; the collection needs
+		// max(k, p) slots because when k < p it reads one word from
+		// every processor.
+		out: bdm.NewSpread[uint32](m, max(k, p)),
+	}
+}
+
+// Engine runs the histogramming algorithm repeatedly on one machine with a
+// sync.Pool-backed arena of spread arrays keyed by (image side, k), so
+// repeated runs do near-zero large allocations. Not safe for concurrent
+// use, matching the underlying Machine.
+type Engine struct {
+	m     *bdm.Machine
+	pools map[[2]int]*sync.Pool // {image side, k} -> pool of *histState
+}
+
+// NewEngine returns an engine over machine m with an empty arena.
+func NewEngine(m *bdm.Machine) *Engine {
+	return &Engine{m: m, pools: make(map[[2]int]*sync.Pool)}
+}
+
+// Run histograms im with k grey levels on the engine's machine. k must be a
+// power of two (the paper's assumption, w.l.o.g.); the image must tile
+// evenly on m.P() processors. The image distribution (each processor
+// receiving its tile) is performed outside the timed region, as the paper
+// assumes the image is already distributed.
+func (e *Engine) Run(im *image.Image, k int) (*Result, error) {
 	if k < 2 || k&(k-1) != 0 {
 		return nil, fmt.Errorf("hist: k must be a power of two >= 2, got %d", k)
 	}
+	m := e.m
 	lay, err := image.NewLayout(im.N, m.P())
 	if err != nil {
 		return nil, fmt.Errorf("hist: %w", err)
@@ -56,36 +94,38 @@ func Run(m *bdm.Machine, im *image.Image, k int) (*Result, error) {
 		return nil, fmt.Errorf("hist: image has grey level %d outside [0,%d)", im.MaxGrey(), k)
 	}
 
-	p := m.P()
-	tilePix := lay.Q * lay.R
-	tiles := bdm.NewSpread[uint32](m, tilePix)
-	for rank := 0; rank < p; rank++ {
-		lay.Scatter(im, rank, tiles.Row(rank))
+	key := [2]int{im.N, k}
+	pool := e.pools[key]
+	if pool == nil {
+		pool = &sync.Pool{New: func() any { return newHistState(m, lay, k) }}
+		e.pools[key] = pool
 	}
-
-	local := bdm.NewSpread[uint32](m, k) // Hi: per-processor tallies
-	// trans holds k/p rows of the k x p tally matrix when k >= p, or one
-	// whole row (p elements) when k < p.
-	trans := bdm.NewSpread[uint32](m, max(k, p))
-	combined := bdm.NewSpread[uint32](m, max(k/p, 1))
-	// out row 0 receives the final histogram; the collection needs
-	// max(k, p) slots because when k < p it reads one word from every
-	// processor.
-	out := bdm.NewSpread[uint32](m, max(k, p))
+	st := pool.Get().(*histState)
+	for rank := 0; rank < m.P(); rank++ {
+		lay.Scatter(im, rank, st.tiles.Row(rank))
+	}
 
 	m.Reset()
 	report, err := m.Run(func(pr *bdm.Proc) {
-		runProc(pr, lay, k, tiles, local, trans, combined, out)
+		runProc(pr, lay, k, st.tiles, st.local, st.trans, st.combined, st.out)
 	})
 	if err != nil {
 		return nil, err
 	}
 
 	h := make([]int64, k)
-	for i, v := range out.Row(0)[:k] {
+	for i, v := range st.out.Row(0)[:k] {
 		h[i] = int64(v)
 	}
+	pool.Put(st)
 	return &Result{H: h, Report: report}, nil
+}
+
+// Run histograms im with k grey levels on machine m with a one-shot Engine.
+// Callers that histogram repeatedly should hold an Engine to reuse its
+// scratch arena.
+func Run(m *bdm.Machine, im *image.Image, k int) (*Result, error) {
+	return NewEngine(m).Run(im, k)
 }
 
 // runProc is the SPMD body: the per-processor program of the algorithm.

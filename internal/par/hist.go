@@ -1,0 +1,74 @@
+package par
+
+import (
+	"fmt"
+
+	"parimg/internal/image"
+)
+
+// Histogram computes the k-bucket histogram of im with the engine's
+// workers: per-worker sharded tallies of one strip each, merged pairwise in
+// a tree of log(workers) parallel rounds. Pixels with grey level >= k are
+// an error, as in the sequential baseline.
+func (e *Engine) Histogram(im *image.Image, k int) ([]int64, error) {
+	h := make([]int64, k)
+	if err := e.HistogramInto(im, h); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// HistogramInto tallies im into h (len(h) buckets), overwriting it.
+func (e *Engine) HistogramInto(im *image.Image, h []int64) error {
+	k := len(h)
+	if k < 1 {
+		return fmt.Errorf("par: histogram needs at least 1 bucket")
+	}
+	n := im.N
+	W := e.stripCount(n)
+
+	// Shard tally: each worker counts its strip into its own k buckets.
+	parallelDo(W, func(w int) {
+		shard := e.shards[w]
+		if cap(shard) < k {
+			shard = make([]int64, k)
+			e.shards[w] = shard
+		}
+		shard = shard[:k]
+		for i := range shard {
+			shard[i] = 0
+		}
+		e.errs[w] = nil
+		r0, r1 := stripBounds(w, W, n)
+		for _, v := range im.Pix[r0*n : r1*n] {
+			if int(v) >= k {
+				e.errs[w] = fmt.Errorf("par: grey level %d outside [0,%d)", v, k)
+				return
+			}
+			shard[v]++
+		}
+	})
+	for w := 0; w < W; w++ {
+		if e.errs[w] != nil {
+			return e.errs[w]
+		}
+	}
+
+	// Tree merge: in round s, shard i absorbs shard i+s for every i that
+	// is a multiple of 2s — log2(W) parallel rounds, the shared-memory
+	// analogue of the paper's transpose+combine rearrangement.
+	for stride := 1; stride < W; stride *= 2 {
+		step := 2 * stride
+		mergers := (W - stride + step - 1) / step
+		parallelDo(mergers, func(m int) {
+			lo := m * step
+			hi := lo + stride
+			dst, src := e.shards[lo][:k], e.shards[hi][:k]
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		})
+	}
+	copy(h, e.shards[0][:k])
+	return nil
+}

@@ -1,0 +1,127 @@
+package par
+
+import (
+	"parimg/internal/image"
+	"parimg/internal/seq"
+)
+
+// Label labels im's connected components with the engine's workers and
+// returns a fresh labeling, pixel-for-pixel identical to seq.LabelBFS.
+func (e *Engine) Label(im *image.Image, conn image.Connectivity, mode seq.Mode) *image.Labels {
+	out := image.NewLabels(im.N)
+	e.labelInto(im, conn, mode, out, false)
+	return out
+}
+
+// LabelInto labels im into out (cleared first) and returns the number of
+// components. out must have side im.N.
+func (e *Engine) LabelInto(im *image.Image, conn image.Connectivity, mode seq.Mode, out *image.Labels) int {
+	return e.labelInto(im, conn, mode, out, true)
+}
+
+func (e *Engine) labelInto(im *image.Image, conn image.Connectivity, mode seq.Mode,
+	out *image.Labels, clear bool) int {
+	n := im.N
+	W := e.stripCount(n)
+
+	if W == 1 {
+		if clear {
+			for i := range out.Lab {
+				out.Lab[i] = 0
+			}
+		}
+		return e.labelers[0].LabelTile(im.Pix, n, n, conn, mode,
+			func(i, j int) uint32 { return uint32(i*n+j) + 1 }, out.Lab)
+	}
+
+	comps := make([]int, W)
+	links := make([]int, W)
+
+	// Phase 1 — strip initialization (Section 5.1 on a W x 1 grid): each
+	// worker labels its horizontal strip in place with the sequential
+	// row-major BFS. Seed labels are the global row-major index + 1, so
+	// labels are globally unique with no coordination, and the strip's
+	// fragment of a component carries the fragment's minimum global index.
+	parallelDo(W, func(w int) {
+		r0, r1 := stripBounds(w, W, n)
+		lab := out.Lab[r0*n : r1*n]
+		if clear {
+			for i := range lab {
+				lab[i] = 0
+			}
+		}
+		comps[w] = e.labelers[w].LabelTile(im.Pix[r0*n:r1*n], r1-r0, n, conn, mode,
+			func(i, j int) uint32 { return uint32((r0+i)*n+j) + 1 }, lab)
+	})
+
+	// Phase 2 — border merge: worker w resolves the boundary between
+	// strips w-1 and w by uniting the labels of adjacent like-colored
+	// pixels across it in the concurrent union-find. Boundaries are
+	// independent, but a strip's labels can reach two boundaries, so the
+	// union-find must be (and is) safe for concurrent unites.
+	e.uf.reset(n*n + 1)
+	parallelDo(W, func(w int) {
+		if w == 0 {
+			return
+		}
+		c, _ := stripBounds(w, W, n)
+		dirty := e.dirty[w][:0]
+		top, bot := (c-1)*n, c*n
+		for j := 0; j < n; j++ {
+			a := im.Pix[top+j]
+			if a == 0 {
+				continue
+			}
+			jlo, jhi := j, j
+			if conn == image.Conn8 {
+				jlo, jhi = j-1, j+1
+				if jlo < 0 {
+					jlo = 0
+				}
+				if jhi >= n {
+					jhi = n - 1
+				}
+			}
+			for jj := jlo; jj <= jhi; jj++ {
+				b := im.Pix[bot+jj]
+				if b == 0 || !mode.Connected(a, b) {
+					continue
+				}
+				la, lb := out.Lab[top+j], out.Lab[bot+jj]
+				dirty = append(dirty, la, lb)
+				if e.uf.unite(la, lb) {
+					links[w]++
+				}
+			}
+		}
+		e.dirty[w] = dirty
+	})
+
+	// Phase 3 — final update: every pixel's label is replaced by its
+	// set's root, the component's global minimum seed label. Interior
+	// components take the fast path (no parent, one atomic load).
+	parallelDo(W, func(w int) {
+		r0, r1 := stripBounds(w, W, n)
+		lab := out.Lab[r0*n : r1*n]
+		for i, l := range lab {
+			if l == 0 {
+				continue
+			}
+			if r := e.uf.find(l); r != l {
+				lab[i] = r
+			}
+		}
+	})
+
+	// Phase 4 — restore the union-find's all-zero ready state by clearing
+	// exactly the entries this run touched.
+	parallelDo(W, func(w int) {
+		e.uf.clear(e.dirty[w])
+	})
+
+	total := 0
+	for w := 0; w < W; w++ {
+		total += comps[w] - links[w]
+	}
+	return total
+}

@@ -116,28 +116,62 @@ func TileLabeler(pix []uint32, rows, cols int, conn image.Connectivity, mode Mod
 // each component is the global row-major index of its first pixel plus one.
 // This is the reference labeling that the parallel algorithm must
 // reproduce exactly when merges pick minimum representatives.
+// It is a thin wrapper over a one-shot Labeler; hot paths that label
+// repeatedly should hold a Labeler and reuse its scratch.
 func LabelBFS(im *image.Image, conn image.Connectivity, mode Mode) *image.Labels {
-	out := image.NewLabels(im.N)
-	n := im.N
-	TileLabeler(im.Pix, n, n, conn, mode,
-		func(i, j int) uint32 { return uint32(i*n+j) + 1 }, out.Lab, nil)
-	return out
+	var l Labeler
+	return l.Label(im, conn, mode)
 }
+
+// Visited is an epoch-stamped visited set over a fixed index range: marking
+// writes the current generation number, and advancing the generation with
+// Reset invalidates every mark in O(1) instead of re-clearing the array.
+// Repeated BFS passes over the same tile therefore do no large clears and,
+// once grown, no allocations.
+type Visited struct {
+	gen []uint32
+	cur uint32
+}
+
+// Reset prepares the set for n indices with all of them unvisited. The
+// backing array is reused when large enough; the generation counter wrap
+// (once per 2^32 resets) triggers one full clear.
+func (v *Visited) Reset(n int) {
+	if cap(v.gen) < n {
+		v.gen = make([]uint32, n)
+		v.cur = 0
+	}
+	v.gen = v.gen[:n]
+	v.cur++
+	if v.cur == 0 { // generation wrapped: old stamps become ambiguous
+		for i := range v.gen {
+			v.gen[i] = 0
+		}
+		v.cur = 1
+	}
+}
+
+// Seen reports whether index i has been marked since the last Reset.
+func (v *Visited) Seen(i int32) bool { return v.gen[i] == v.cur }
+
+// Mark marks index i as visited.
+func (v *Visited) Mark(i int32) { v.gen[i] = v.cur }
 
 // FloodRelabel relabels, within one tile, the connected like-colored
 // component containing seed to newLabel, using BFS over colors (not over
 // old labels, so it is correct whether or not border pixels were already
-// relabeled). visited must be a zeroed scratch bitmap of rows*cols bools;
-// it is cleaned up before returning. This is the final interior update of
+// relabeled). visited must cover rows*cols indices with seed unvisited;
+// marks from earlier floods of the same final update stay set, so a
+// component is never flooded twice. This is the final interior update of
 // Section 5.3.
 func FloodRelabel(pix, labels []uint32, rows, cols int, conn image.Connectivity, mode Mode,
-	seed int32, newLabel uint32, visited []bool, queue []int32) []int32 {
+	seed int32, newLabel uint32, visited *Visited, queue []int32) []int32 {
 	offs := conn.Offsets()
 	if queue == nil {
 		queue = make([]int32, 0, 64)
 	}
 	queue = append(queue[:0], seed)
-	visited[seed] = true
+	visited.Mark(seed)
 	labels[seed] = newLabel
 	head := 0
 	for head < len(queue) {
@@ -150,17 +184,13 @@ func FloodRelabel(pix, labels []uint32, rows, cols int, conn image.Connectivity,
 				continue
 			}
 			v := vi*cols + vj
-			if visited[v] || !mode.Connected(pix[u], pix[v]) {
+			if visited.Seen(int32(v)) || !mode.Connected(pix[u], pix[v]) {
 				continue
 			}
-			visited[v] = true
+			visited.Mark(int32(v))
 			labels[v] = newLabel
 			queue = append(queue, int32(v))
 		}
-	}
-	// Restore the scratch bitmap for the next flood.
-	for _, u := range queue {
-		visited[u] = false
 	}
 	return queue
 }

@@ -246,8 +246,9 @@ func TestFloodRelabel(t *testing.T) {
 	labels := make([]uint32, 16)
 	TileLabeler(pix, 4, 4, image.Conn4, Grey,
 		func(i, j int) uint32 { return uint32(i*4+j) + 1 }, labels, nil)
-	visited := make([]bool, 16)
-	FloodRelabel(pix, labels, 4, 4, image.Conn4, Grey, 0, 999, visited, nil)
+	var visited Visited
+	visited.Reset(16)
+	FloodRelabel(pix, labels, 4, 4, image.Conn4, Grey, 0, 999, &visited, nil)
 	for _, idx := range []int{0, 1, 4, 8} {
 		if labels[idx] != 999 {
 			t.Errorf("pixel %d: label %d, want 999", idx, labels[idx])
@@ -257,10 +258,35 @@ func TestFloodRelabel(t *testing.T) {
 	if labels[7] == 999 || labels[15] != 0 {
 		t.Error("flood leaked outside the component")
 	}
-	// The visited bitmap is restored.
-	for i, v := range visited {
-		if v {
-			t.Fatalf("visited[%d] not cleaned up", i)
+	// A second flood of the same pass sees the earlier marks.
+	if !visited.Seen(0) || visited.Seen(7) {
+		t.Error("visited marks wrong after flood")
+	}
+	// Reset invalidates every mark without clearing.
+	visited.Reset(16)
+	if visited.Seen(0) {
+		t.Error("Reset did not invalidate marks")
+	}
+}
+
+func TestLabelerReuse(t *testing.T) {
+	var l Labeler
+	for _, n := range []int{16, 32, 16} {
+		im := image.RandomBinary(n, 0.55, uint64(n))
+		got := l.Label(im, image.Conn8, Binary)
+		want := LabelBFS(im, image.Conn8, Binary)
+		for i := range want.Lab {
+			if got.Lab[i] != want.Lab[i] {
+				t.Fatalf("n=%d: Labeler differs from LabelBFS at %d", n, i)
+			}
+		}
+		out := image.NewLabels(n)
+		out.Lab[0] = 7 // LabelInto must clear stale labels
+		l.LabelInto(im, image.Conn8, Binary, out)
+		for i := range want.Lab {
+			if out.Lab[i] != want.Lab[i] {
+				t.Fatalf("n=%d: LabelInto differs from LabelBFS at %d", n, i)
+			}
 		}
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"parimg/internal/hist"
 	"parimg/internal/image"
 	"parimg/internal/machine"
+	"parimg/internal/par"
 	"parimg/internal/recognize"
 	"parimg/internal/seq"
 )
@@ -111,16 +112,25 @@ func RandomBinary(n int, density float64, seed uint64) *Image {
 // RandomGrey returns a deterministic random image with k grey levels.
 func RandomGrey(n, k int, seed uint64) *Image { return image.RandomGrey(n, k, seed) }
 
+// NewLabels returns a zeroed labeling for an n x n image, for use with
+// ParallelEngine.LabelInto.
+func NewLabels(n int) *Labels { return image.NewLabels(n) }
+
 // DARPAImage returns the synthetic 512 x 512, 256 grey-level stand-in for
 // the DARPA Image Understanding Benchmark image (Figure 2); see DESIGN.md
 // for the substitution rationale.
 func DARPAImage() *Image { return image.DARPASynthetic() }
 
 // Simulator is a p-processor simulated distributed-memory machine running
-// the paper's parallel algorithms under the BDM cost model.
+// the paper's parallel algorithms under the BDM cost model. A Simulator
+// reuses its machine's goroutine pool and a scratch arena across calls, so
+// repeated Label/Histogram runs do near-zero large allocations; it is not
+// safe for concurrent use.
 type Simulator struct {
-	m *bdm.Machine
-	p int
+	m    *bdm.Machine
+	p    int
+	cc   *cc.Engine
+	hist *hist.Engine
 }
 
 // NewSimulator creates a simulator with p processors (a power of two) and
@@ -133,7 +143,7 @@ func NewSimulator(p int, spec MachineSpec) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulator{m: m, p: p}, nil
+	return &Simulator{m: m, p: p, cc: cc.NewEngine(m), hist: hist.NewEngine(m)}, nil
 }
 
 // P returns the number of simulated processors.
@@ -151,7 +161,7 @@ type HistogramResult struct {
 // (Section 4 of the paper). k must be a power of two and the image must
 // tile evenly across the processors.
 func (s *Simulator) Histogram(im *Image, k int) (*HistogramResult, error) {
-	res, err := hist.Run(s.m, im, k)
+	res, err := s.hist.Run(im, k)
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +258,7 @@ func (s *Simulator) Label(im *Image, opt LabelOptions) (*CCResult, error) {
 	if opt.DirectDistribution {
 		o.ChangeDist = cc.DistDirect
 	}
-	res, err := cc.Run(s.m, im, o)
+	res, err := s.cc.Run(im, o)
 	if err != nil {
 		return nil, err
 	}
@@ -371,3 +381,37 @@ func HistogramSequential(im *Image, k int) ([]int64, error) { return im.Histogra
 func LabelSequential(im *Image, conn Connectivity, mode Mode) *Labels {
 	return seq.LabelBFS(im, conn, mode)
 }
+
+// LabelParallel labels the connected components of im on the host-parallel
+// engine: the paper's tile-BFS-plus-border-merge decomposition executed on
+// GOMAXPROCS worker goroutines for real wall-clock speedup, with border
+// merges resolved by a concurrent union-find instead of a simulated
+// message-passing machine. The labeling is pixel-for-pixel identical to
+// LabelSequential (and to Simulator.Label). Only Conn and Mode of the
+// options are honored — the remaining fields configure simulator-only
+// ablations. Safe for concurrent use.
+func LabelParallel(im *Image, opt LabelOptions) *Labels {
+	conn := opt.Conn
+	if conn == 0 {
+		conn = Conn8
+	}
+	return par.Label(im, conn, opt.Mode)
+}
+
+// HistogramParallel computes the k-bucket histogram of im on the
+// host-parallel engine: per-worker sharded tallies merged in a tree.
+// Unlike Simulator.Histogram, k needs not be a power of two. Safe for
+// concurrent use.
+func HistogramParallel(im *Image, k int) ([]int64, error) {
+	return par.Histogram(im, k)
+}
+
+// NewParallelEngine returns a host-parallel engine with a fixed worker
+// count (<= 0 selects GOMAXPROCS) and reusable scratch, for callers that
+// label or histogram repeatedly and want to pin the parallelism. The
+// engine is not safe for concurrent use; the package-level LabelParallel
+// and HistogramParallel draw pooled engines and are.
+func NewParallelEngine(workers int) *ParallelEngine { return par.NewEngine(workers) }
+
+// ParallelEngine is a reusable host-parallel executor; see NewParallelEngine.
+type ParallelEngine = par.Engine
