@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-short bench-json experiments examples clean
+.PHONY: all build test race cover bench bench-short bench-json fuzz-short experiments examples clean
 
 all: build test
 
@@ -27,9 +27,14 @@ bench:
 bench-short:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Regenerate BENCH_parallel.json (host-parallel vs sequential wall clock).
+# Regenerate BENCH_runs.json (backend x algo wall-clock matrix over the
+# full pattern catalog).
 bench-json:
 	$(GO) run ./cmd/benchjson
+
+# Quick fuzz pass of the run engine against the sequential BFS reference.
+fuzz-short:
+	$(GO) test -fuzz FuzzRunLabelMatchesBFS -fuzztime 30s ./internal/par/
 
 experiments:
 	$(GO) run ./cmd/experiments all

@@ -1,122 +1,187 @@
-// Command benchjson measures the wall-clock speedup of the host-parallel
-// labeling engine over the sequential baseline and writes the result as
-// JSON (default BENCH_parallel.json) for tracking across commits.
+// Command benchjson measures the wall-clock labeling throughput of every
+// backend x algorithm combination — the sequential BFS baseline and the
+// host-parallel engine running either per-pixel BFS ("bfs") or the
+// run-based two-pass engine ("runs"), at one worker and at GOMAXPROCS —
+// and writes the matrix as JSON (default BENCH_runs.json) for tracking
+// across commits.
 //
-// Each measurement labels the dual-spiral pattern — the catalog's
-// worst case for border merging — repeatedly for at least -mintime per
-// backend and keeps the fastest iteration, the usual go-bench style
-// floor of scheduling noise. GOMAXPROCS and NumCPU are recorded so a
-// reader can tell a 1-core container (speedup ~1x is the best possible)
-// from a real multicore host.
+// Unlike the first-generation harness, which benchmarked only the
+// dual-spiral pattern, every run covers all nine Figure 1 catalog patterns
+// plus the synthetic DARPA scene, so the report reflects worst-case inputs
+// (single-pixel-wide features, dense small components) as well as
+// spiral-friendly ones. Each measurement labels its image repeatedly for
+// at least -mintime and keeps the fastest iteration, the usual go-bench
+// floor of scheduling noise. Every configuration's output is verified
+// pixel-for-pixel against the sequential reference, and the summary
+// records the geometric-mean single-worker speedup of runs over bfs on the
+// 1024^2 catalog patterns. GOMAXPROCS and NumCPU are recorded so a reader
+// can tell a 1-core container from a real multicore host.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
 
 	"parimg"
+	"parimg/internal/cli"
 )
 
-type sizeResult struct {
-	N            int     `json:"n"`
+type row struct {
 	Pattern      string  `json:"pattern"`
-	SeqNS        int64   `json:"sequential_ns"`
-	ParNS        int64   `json:"parallel_ns"`
-	Speedup      float64 `json:"speedup"`
-	ParMPixPerS  float64 `json:"parallel_mpix_per_s"`
-	SeqMPixPerS  float64 `json:"sequential_mpix_per_s"`
+	N            int     `json:"n"`
+	Backend      string  `json:"backend"` // "seq" or "par"
+	Algo         string  `json:"algo"`    // "bfs" or "runs"
+	Workers      int     `json:"workers"`
+	NS           int64   `json:"ns"`
+	MPixPerS     float64 `json:"mpix_per_s"`
 	Components   int     `json:"components"`
 	LabelsAgreed bool    `json:"labels_identical"`
 }
 
 type report struct {
-	Benchmark  string       `json:"benchmark"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	NumCPU     int          `json:"numcpu"`
-	Workers    int          `json:"workers"`
-	Conn       string       `json:"connectivity"`
-	Sizes      []sizeResult `json:"sizes"`
+	Benchmark  string `json:"benchmark"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	Conn       string `json:"connectivity"`
+	Mode       string `json:"mode"`
+	MinTimeMS  int64  `json:"mintime_ms"`
+	Rows       []row  `json:"rows"`
+	// GeomeanRunsOverBFS1W1024 is the geometric mean, over the nine
+	// 1024^2 catalog patterns, of bfs_ns / runs_ns at workers=1.
+	GeomeanRunsOverBFS1W1024 float64 `json:"geomean_runs_over_bfs_1worker_1024"`
 }
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_parallel.json", "output file")
-		workers = flag.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
-		minTime = flag.Duration("mintime", 300*time.Millisecond, "minimum measuring time per backend per size")
+		out     = flag.String("o", "BENCH_runs.json", "output file")
+		workers = cli.WorkersFlag(flag.CommandLine)
+		minTime = flag.Duration("mintime", 200*time.Millisecond, "minimum measuring time per configuration")
 	)
 	flag.Parse()
 
-	w := *workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
+	maxW := cli.Workers(*workers)
+	workerCounts := []int{1}
+	if maxW > 1 {
+		workerCounts = append(workerCounts, maxW)
 	}
+
 	rep := report{
-		Benchmark:  "LabelParallel vs LabelSequential, dual-spiral, Conn8, binary",
+		Benchmark:  "label backend x algo matrix, nine catalog patterns + DARPA, binary",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
-		Workers:    w,
 		Conn:       parimg.Conn8.String(),
+		Mode:       parimg.Binary.String(),
+		MinTimeMS:  minTime.Milliseconds(),
 	}
 
+	type input struct {
+		name string
+		im   *parimg.Image
+	}
+	var inputs []input
 	for _, n := range []int{512, 1024} {
-		im := parimg.GeneratePattern(parimg.DualSpiral, n)
-		eng := parimg.NewParallelEngine(w)
-		parOut := parimg.NewLabels(n)
+		for _, id := range parimg.AllPatterns() {
+			inputs = append(inputs, input{id.String(), parimg.GeneratePattern(id, n)})
+		}
+	}
+	inputs = append(inputs, input{"darpa", parimg.DARPAImage()})
 
-		seqNS := best(*minTime, func() {
-			parimg.LabelSequential(im, parimg.Conn8, parimg.Binary)
-		})
-		var comps int
-		parNS := best(*minTime, func() {
-			comps = eng.LabelInto(im, parimg.Conn8, parimg.Binary, parOut)
-		})
+	// bfsNS/runsNS collect the workers=1 times of the 1024^2 catalog
+	// patterns for the geometric-mean summary.
+	var logSpeedupSum float64
+	var logSpeedupN int
 
-		want := parimg.LabelSequential(im, parimg.Conn8, parimg.Binary)
-		agree := true
-		for i := range want.Lab {
-			if want.Lab[i] != parOut.Lab[i] {
-				agree = false
-				break
+	for _, in := range inputs {
+		n := in.im.N
+		pix := float64(n * n)
+		want := parimg.LabelSequential(in.im, parimg.Conn8, parimg.Binary)
+
+		record := func(backend, algo string, w int, ns int64, got *parimg.Labels, comps int) {
+			agree := true
+			for i := range want.Lab {
+				if want.Lab[i] != got.Lab[i] {
+					agree = false
+					break
+				}
 			}
+			rep.Rows = append(rep.Rows, row{
+				Pattern: in.name, N: n, Backend: backend, Algo: algo, Workers: w,
+				NS: ns, MPixPerS: pix / (float64(ns) / 1e9) / 1e6,
+				Components: comps, LabelsAgreed: agree,
+			})
+			fmt.Printf("%-18s n=%-5d %-3s %-4s w=%-2d  %10v  %8.1f MPix/s  identical=%v\n",
+				in.name, n, backend, algo, w, time.Duration(ns), pix/(float64(ns)/1e9)/1e6, agree)
 		}
 
-		pix := float64(n * n)
-		rep.Sizes = append(rep.Sizes, sizeResult{
-			N:            n,
-			Pattern:      "dual-spiral",
-			SeqNS:        seqNS,
-			ParNS:        parNS,
-			Speedup:      float64(seqNS) / float64(parNS),
-			SeqMPixPerS:  pix / (float64(seqNS) / 1e9) / 1e6,
-			ParMPixPerS:  pix / (float64(parNS) / 1e9) / 1e6,
-			Components:   comps,
-			LabelsAgreed: agree,
-		})
-		fmt.Printf("n=%d: seq %v, par %v (workers=%d), speedup %.2fx, identical=%v\n",
-			n, time.Duration(seqNS), time.Duration(parNS), w,
-			float64(seqNS)/float64(parNS), agree)
+		// Sequential baseline (backend seq, the paper's Section 5.1 BFS).
+		seqOut := parimg.NewLabels(n)
+		var seqNS int64
+		{
+			var l *parimg.Labels
+			seqNS = best(*minTime, func() { l = parimg.LabelSequential(in.im, parimg.Conn8, parimg.Binary) })
+			copy(seqOut.Lab, l.Lab)
+			record("seq", "bfs", 1, seqNS, seqOut, seqOut.Components())
+		}
+
+		// Host-parallel backend: algo x workers.
+		var bfs1, runs1 int64
+		for _, algoName := range []string{"bfs", "runs"} {
+			algo, err := parimg.ParseAlgo(algoName)
+			if err != nil {
+				fatal(err)
+			}
+			for _, w := range workerCounts {
+				eng := parimg.NewParallelEngine(w)
+				eng.SetAlgo(algo)
+				got := parimg.NewLabels(n)
+				var comps int
+				ns := best(*minTime, func() {
+					comps = eng.LabelInto(in.im, parimg.Conn8, parimg.Binary, got)
+				})
+				record("par", algoName, w, ns, got, comps)
+				if w == 1 {
+					if algoName == "bfs" {
+						bfs1 = ns
+					} else {
+						runs1 = ns
+					}
+				}
+			}
+		}
+		if n == 1024 && in.name != "darpa" && bfs1 > 0 && runs1 > 0 {
+			logSpeedupSum += math.Log(float64(bfs1) / float64(runs1))
+			logSpeedupN++
+		}
+	}
+
+	if logSpeedupN > 0 {
+		rep.GeomeanRunsOverBFS1W1024 = math.Exp(logSpeedupSum / float64(logSpeedupN))
 	}
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(&rep); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	fmt.Printf("wrote %s (gomaxprocs=%d, numcpu=%d)\n", *out, rep.GoMaxProcs, rep.NumCPU)
+	fmt.Printf("wrote %s (gomaxprocs=%d, numcpu=%d, geomean runs/bfs @1w/1024 = %.2fx)\n",
+		*out, rep.GoMaxProcs, rep.NumCPU, rep.GeomeanRunsOverBFS1W1024)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
 }
 
 // best runs fn repeatedly for at least minTime and returns the fastest

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"parimg"
+	"parimg/internal/cli"
 )
 
 func main() {
@@ -41,9 +42,16 @@ func main() {
 		fullRelabel = flag.Bool("full-relabel", false, "relabel whole tiles every merge (disable limited updating)")
 		compare     = flag.Bool("compare", false, "run all three parallel algorithms and compare")
 		backend     = flag.String("backend", "sim", "execution backend: sim (BDM simulator), par (host-parallel), seq (sequential)")
-		workers     = flag.Int("workers", 0, "worker goroutines for -backend par (0 = GOMAXPROCS)")
+		algoName    = flag.String("algo", "auto", "strip labeling algorithm for -backend par: auto, bfs or runs")
+		workers     = cli.WorkersFlag(flag.CommandLine)
 	)
 	flag.Parse()
+
+	algo, err := parimg.ParseAlgo(*algoName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
+		os.Exit(1)
+	}
 
 	im, err := loadImage(*patternName, *random, *darpa, *inFile, *n, *seed)
 	if err != nil {
@@ -67,6 +75,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "imgcc: invalid connectivity %d (want 4 or 8)\n", *conn)
 			os.Exit(1)
 		}
+		opt0.Algo = algo
 		runHost(*backend, im, opt0, *workers, *top)
 		return
 	default:
@@ -114,13 +123,13 @@ func runHost(backend string, im *parimg.Image, opt parimg.LabelOptions, workers,
 		start  = time.Now()
 	)
 	if backend == "par" {
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		labels = parimg.NewParallelEngine(workers).Label(im, connOf(opt), opt.Mode)
+		workers = cli.Workers(workers)
+		eng := parimg.NewParallelEngine(workers)
+		eng.SetAlgo(opt.Algo)
+		labels = eng.Label(im, connOf(opt), opt.Mode)
 		elapsed := time.Since(start)
-		fmt.Printf("host-parallel, workers=%d (GOMAXPROCS=%d), %dx%d image, %v, %v mode\n",
-			workers, runtime.GOMAXPROCS(0), im.N, im.N, connOf(opt), opt.Mode)
+		fmt.Printf("host-parallel, workers=%d (GOMAXPROCS=%d), algo=%v, %dx%d image, %v, %v mode\n",
+			workers, runtime.GOMAXPROCS(0), opt.Algo, im.N, im.N, connOf(opt), opt.Mode)
 		fmt.Printf("%d connected components, wall time %v\n", labels.Components(), elapsed)
 	} else {
 		labels = parimg.LabelSequential(im, connOf(opt), opt.Mode)

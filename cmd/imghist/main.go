@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"parimg"
+	"parimg/internal/cli"
 )
 
 func main() {
@@ -37,7 +38,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "seed for random images")
 		quiet       = flag.Bool("quiet", false, "print only the timing summary")
 		backend     = flag.String("backend", "sim", "execution backend: sim (BDM simulator), par (host-parallel), seq (sequential)")
-		workers     = flag.Int("workers", 0, "worker goroutines for -backend par (0 = GOMAXPROCS)")
+		workers     = cli.WorkersFlag(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -97,9 +98,7 @@ func runHost(backend string, im *parimg.Image, k, workers int, quiet bool) {
 		start = time.Now()
 	)
 	if backend == "par" {
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
+		workers = cli.Workers(workers)
 		h, err = parimg.NewParallelEngine(workers).Histogram(im, k)
 	} else {
 		h, err = parimg.HistogramSequential(im, k)

@@ -1,0 +1,28 @@
+// Package cli holds the flag conventions shared by the repo's commands, so
+// imgcc, imghist and benchjson agree on flag names, defaults and semantics
+// instead of re-implementing them with drift.
+package cli
+
+import (
+	"flag"
+	"runtime"
+)
+
+// WorkersUsage is the shared help text of the -workers flag.
+const WorkersUsage = "worker goroutines for the host-parallel engine (<= 0 selects GOMAXPROCS)"
+
+// WorkersFlag registers the canonical -workers flag on fs: name "workers",
+// default 0 (meaning GOMAXPROCS at use time). Pass flag.CommandLine from a
+// command's main.
+func WorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, WorkersUsage)
+}
+
+// Workers normalizes a parsed -workers value: n <= 0 selects
+// runtime.GOMAXPROCS(0), anything positive is taken as-is.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}

@@ -1,0 +1,42 @@
+package cli
+
+import (
+	"flag"
+	"runtime"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	p := runtime.GOMAXPROCS(0)
+	cases := []struct{ in, want int }{
+		{0, p}, {-1, p}, {-100, p}, {1, 1}, {7, 7}, {p, p},
+	}
+	for _, c := range cases {
+		if got := Workers(c.in); got != c.want {
+			t.Errorf("Workers(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWorkersFlag(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	w := WorkersFlag(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *w != 0 {
+		t.Fatalf("default -workers = %d, want 0", *w)
+	}
+	if got := Workers(*w); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("normalized default = %d, want GOMAXPROCS", got)
+	}
+
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	w2 := WorkersFlag(fs2)
+	if err := fs2.Parse([]string{"-workers", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if Workers(*w2) != 5 {
+		t.Fatalf("parsed -workers 5 -> %d", Workers(*w2))
+	}
+}

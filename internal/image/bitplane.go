@@ -1,0 +1,88 @@
+package image
+
+import "math/bits"
+
+// Bitplane is a bit-packed binary view of an image: one bit per pixel, 64
+// pixels per word, rows padded to a whole number of words so every row
+// starts word-aligned. Bit j%64 of Words[i*WPR + j/64] is set exactly when
+// pixel (i, j) is foreground (grey level > 0). Bits at column >= N of a
+// row's last word are always zero, so word-at-a-time scans never need an
+// end-of-row mask.
+//
+// The bitplane is the substrate of the run-based labeler: foreground runs
+// fall out of bits.TrailingZeros64 on whole words instead of a byte-per-
+// pixel loop, turning the scan phase from one branch per pixel into a
+// couple of bit operations per 64 pixels.
+type Bitplane struct {
+	// N is the image side length.
+	N int
+	// WPR is the number of words per row: (N + 63) / 64.
+	WPR int
+	// Words holds the N*WPR row-major packed words.
+	Words []uint64
+}
+
+// NewBitplane packs im into a fresh bitplane.
+func NewBitplane(im *Image) *Bitplane {
+	var b Bitplane
+	b.Reset(im.N)
+	b.SetRows(im, 0, im.N)
+	return &b
+}
+
+// Reset sizes the bitplane for an n x n image, reusing the backing array
+// when large enough. Word contents are unspecified until SetRows covers
+// them; only growth allocates.
+func (b *Bitplane) Reset(n int) {
+	b.N = n
+	b.WPR = (n + 63) / 64
+	words := n * b.WPR
+	if cap(b.Words) < words {
+		b.Words = make([]uint64, words)
+		return
+	}
+	b.Words = b.Words[:words]
+}
+
+// SetRows packs rows [r0, r1) of im into the bitplane, overwriting every
+// word of those rows (no prior clear needed). Disjoint row ranges may be
+// packed from different goroutines concurrently.
+func (b *Bitplane) SetRows(im *Image, r0, r1 int) {
+	n := b.N
+	for i := r0; i < r1; i++ {
+		row := im.Pix[i*n : (i+1)*n]
+		out := b.Words[i*b.WPR : (i+1)*b.WPR]
+		for wi := range out {
+			j0 := wi * 64
+			j1 := j0 + 64
+			if j1 > n {
+				j1 = n
+			}
+			var w uint64
+			for j := j0; j < j1; j++ {
+				if row[j] != 0 {
+					w |= 1 << uint(j-j0)
+				}
+			}
+			out[wi] = w
+		}
+	}
+}
+
+// Row returns the packed words of row i.
+func (b *Bitplane) Row(i int) []uint64 { return b.Words[i*b.WPR : (i+1)*b.WPR] }
+
+// Get reports whether pixel (i, j) is foreground.
+func (b *Bitplane) Get(i, j int) bool {
+	return b.Words[i*b.WPR+j/64]>>(uint(j)%64)&1 != 0
+}
+
+// OnesCount returns the number of foreground pixels, a word-at-a-time
+// equivalent of Image.CountForeground for cross-checking the packing.
+func (b *Bitplane) OnesCount() int {
+	n := 0
+	for _, w := range b.Words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,0 +1,97 @@
+package image
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestBitplanePacking cross-checks every bit of the packed plane against
+// the pixel array, across sides around and on word boundaries.
+func TestBitplanePacking(t *testing.T) {
+	for _, n := range []int{1, 2, 63, 64, 65, 100, 127, 128, 130} {
+		im := RandomBinary(n, 0.5, uint64(n))
+		b := NewBitplane(im)
+		if b.WPR != (n+63)/64 {
+			t.Fatalf("n=%d: WPR=%d, want %d", n, b.WPR, (n+63)/64)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got, want := b.Get(i, j), im.At(i, j) != 0; got != want {
+					t.Fatalf("n=%d: bit (%d,%d)=%v, want %v", n, i, j, got, want)
+				}
+			}
+		}
+		if got, want := b.OnesCount(), im.CountForeground(); got != want {
+			t.Fatalf("n=%d: OnesCount=%d, CountForeground=%d", n, got, want)
+		}
+	}
+}
+
+// TestBitplaneTrailingBitsZero checks the invariant word-at-a-time run
+// extraction relies on: bits at column >= N of a row's last word are zero,
+// even for an all-foreground image.
+func TestBitplaneTrailingBitsZero(t *testing.T) {
+	for _, n := range []int{1, 63, 65, 100} {
+		im := New(n)
+		for i := range im.Pix {
+			im.Pix[i] = 1
+		}
+		b := NewBitplane(im)
+		for i := 0; i < n; i++ {
+			last := b.Row(i)[b.WPR-1]
+			hi := n - (b.WPR-1)*64
+			if hi < 64 && last>>uint(hi) != 0 {
+				t.Fatalf("n=%d row %d: bits beyond column %d set: %#x", n, i, n, last)
+			}
+		}
+	}
+}
+
+// TestBitplaneSetRowsReuse packs two different images through one bitplane
+// and checks the second packing fully overwrites the first.
+func TestBitplaneSetRowsReuse(t *testing.T) {
+	full := New(70)
+	for i := range full.Pix {
+		full.Pix[i] = 1
+	}
+	empty := New(70)
+	var b Bitplane
+	b.Reset(70)
+	b.SetRows(full, 0, 70)
+	b.Reset(70)
+	b.SetRows(empty, 0, 70)
+	if got := b.OnesCount(); got != 0 {
+		t.Fatalf("after repacking empty image: %d bits set", got)
+	}
+}
+
+// TestBitplaneStripedSetRows packs disjoint row ranges separately (the
+// parallel engine's per-strip packing) and checks the union is complete.
+func TestBitplaneStripedSetRows(t *testing.T) {
+	im := RandomBinary(97, 0.4, 7)
+	var b Bitplane
+	b.Reset(97)
+	for _, r := range [][2]int{{0, 31}, {31, 64}, {64, 97}} {
+		b.SetRows(im, r[0], r[1])
+	}
+	want := NewBitplane(im)
+	for i, w := range b.Words {
+		if w != want.Words[i] {
+			t.Fatalf("word %d: %#x, want %#x", i, w, want.Words[i])
+		}
+	}
+}
+
+func BenchmarkBitplaneSetRows(b *testing.B) {
+	for _, n := range []int{512, 1024} {
+		im := RandomBinary(n, 0.5, 3)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var bp Bitplane
+			bp.Reset(n)
+			b.SetBytes(int64(n * n))
+			for i := 0; i < b.N; i++ {
+				bp.SetRows(im, 0, n)
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package par
+
+import (
+	"testing"
+
+	"parimg/internal/image"
+	"parimg/internal/seq"
+)
+
+// FuzzRunLabelMatchesBFS asserts the run engine's labeling is byte-
+// identical to seq.LabelBFS on arbitrary binary images, across Conn4/Conn8
+// and worker counts 1-8. The image side, connectivity and worker count are
+// fuzzed alongside the pixel data, which is consumed one bit per pixel so
+// the fuzzer controls the exact run structure (word-boundary runs,
+// alternating columns, solid blocks). The seeded corpus doubles as a
+// regression test under plain `go test`; run `go test -fuzz
+// FuzzRunLabelMatchesBFS ./internal/par` to explore.
+func FuzzRunLabelMatchesBFS(f *testing.F) {
+	f.Add(uint8(1), false, uint8(1), []byte{0x01})
+	f.Add(uint8(8), true, uint8(3), []byte{0xff, 0x00, 0xaa, 0x55, 0x0f, 0xf0, 0x81, 0x7e})
+	f.Add(uint8(16), false, uint8(4), []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x80})
+	f.Add(uint8(65), true, uint8(8), []byte{0xff})                   // side straddles a word boundary
+	f.Add(uint8(33), true, uint8(2), []byte{0x55, 0x55, 0x55, 0x55}) // alternating columns
+	f.Add(uint8(12), false, uint8(7), []byte{})
+	f.Fuzz(func(t *testing.T, side uint8, conn8 bool, workers uint8, bits []byte) {
+		n := int(side)%80 + 1
+		w := int(workers)%8 + 1
+		conn := image.Conn4
+		if conn8 {
+			conn = image.Conn8
+		}
+		im := image.New(n)
+		if len(bits) > 0 {
+			for i := range im.Pix {
+				if bits[(i/8)%len(bits)]>>(uint(i)%8)&1 != 0 {
+					im.Pix[i] = 1
+				}
+			}
+		}
+		want := seq.LabelBFS(im, conn, seq.Binary)
+		e := NewEngine(w)
+		e.SetAlgo(AlgoRuns)
+		got := e.Label(im, conn, seq.Binary)
+		for i := range want.Lab {
+			if got.Lab[i] != want.Lab[i] {
+				t.Fatalf("n=%d conn=%v workers=%d: pixel %d: got %d, want %d",
+					n, conn, w, i, got.Lab[i], want.Lab[i])
+			}
+		}
+	})
+}

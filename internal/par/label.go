@@ -19,7 +19,21 @@ func (e *Engine) LabelInto(im *image.Image, conn image.Connectivity, mode seq.Mo
 	return e.labelInto(im, conn, mode, out, true)
 }
 
+// labelInto dispatches to the strip algorithm the engine's Algo resolves
+// to for the mode: the run-based engine for binary images (unless BFS is
+// forced), the per-pixel BFS otherwise. Both produce the exact labeling of
+// seq.LabelBFS; only the strip-internal work differs. The border merge
+// (Phase 2), final update (Phase 3) and union-find cleanup (Phase 4) are
+// shared.
 func (e *Engine) labelInto(im *image.Image, conn image.Connectivity, mode seq.Mode,
+	out *image.Labels, clear bool) int {
+	if e.algo.effective(mode) == AlgoRuns {
+		return e.runLabelInto(im, conn, mode, out, clear)
+	}
+	return e.bfsLabelInto(im, conn, mode, out, clear)
+}
+
+func (e *Engine) bfsLabelInto(im *image.Image, conn image.Connectivity, mode seq.Mode,
 	out *image.Labels, clear bool) int {
 	n := im.N
 	W := e.stripCount(n)
@@ -34,9 +48,6 @@ func (e *Engine) labelInto(im *image.Image, conn image.Connectivity, mode seq.Mo
 			func(i, j int) uint32 { return uint32(i*n+j) + 1 }, out.Lab)
 	}
 
-	comps := make([]int, W)
-	links := make([]int, W)
-
 	// Phase 1 — strip initialization (Section 5.1 on a W x 1 grid): each
 	// worker labels its horizontal strip in place with the sequential
 	// row-major BFS. Seed labels are the global row-major index + 1, so
@@ -50,17 +61,43 @@ func (e *Engine) labelInto(im *image.Image, conn image.Connectivity, mode seq.Mo
 				lab[i] = 0
 			}
 		}
-		comps[w] = e.labelers[w].LabelTile(im.Pix[r0*n:r1*n], r1-r0, n, conn, mode,
+		e.comps[w] = e.labelers[w].LabelTile(im.Pix[r0*n:r1*n], r1-r0, n, conn, mode,
 			func(i, j int) uint32 { return uint32((r0+i)*n+j) + 1 }, lab)
 	})
 
-	// Phase 2 — border merge: worker w resolves the boundary between
-	// strips w-1 and w by uniting the labels of adjacent like-colored
-	// pixels across it in the concurrent union-find. Boundaries are
-	// independent, but a strip's labels can reach two boundaries, so the
-	// union-find must be (and is) safe for concurrent unites.
+	e.borderMerge(im, out, conn, mode, W)
+
+	// Phase 3 — final update: every pixel's label is replaced by its
+	// set's root, the component's global minimum seed label. Interior
+	// components take the fast path (no parent, one atomic load).
+	parallelDo(W, func(w int) {
+		r0, r1 := stripBounds(w, W, n)
+		lab := out.Lab[r0*n : r1*n]
+		for i, l := range lab {
+			if l == 0 {
+				continue
+			}
+			if r := e.uf.find(l); r != l {
+				lab[i] = r
+			}
+		}
+	})
+
+	return e.finish(W)
+}
+
+// borderMerge is Phase 2 — worker w resolves the boundary between strips
+// w-1 and w by uniting the labels of adjacent like-colored pixels across
+// it in the concurrent union-find. Boundaries are independent, but a
+// strip's labels can reach two boundaries, so the union-find must be (and
+// is) safe for concurrent unites. Strip labels must already be painted
+// into out; cross-border link counts land in e.links.
+func (e *Engine) borderMerge(im *image.Image, out *image.Labels,
+	conn image.Connectivity, mode seq.Mode, W int) {
+	n := im.N
 	e.uf.reset(n*n + 1)
 	parallelDo(W, func(w int) {
+		e.links[w] = 0
 		if w == 0 {
 			return
 		}
@@ -90,38 +127,24 @@ func (e *Engine) labelInto(im *image.Image, conn image.Connectivity, mode seq.Mo
 				la, lb := out.Lab[top+j], out.Lab[bot+jj]
 				dirty = append(dirty, la, lb)
 				if e.uf.unite(la, lb) {
-					links[w]++
+					e.links[w]++
 				}
 			}
 		}
 		e.dirty[w] = dirty
 	})
+}
 
-	// Phase 3 — final update: every pixel's label is replaced by its
-	// set's root, the component's global minimum seed label. Interior
-	// components take the fast path (no parent, one atomic load).
-	parallelDo(W, func(w int) {
-		r0, r1 := stripBounds(w, W, n)
-		lab := out.Lab[r0*n : r1*n]
-		for i, l := range lab {
-			if l == 0 {
-				continue
-			}
-			if r := e.uf.find(l); r != l {
-				lab[i] = r
-			}
-		}
-	})
-
-	// Phase 4 — restore the union-find's all-zero ready state by clearing
-	// exactly the entries this run touched.
+// finish is Phase 4 plus the component count: restore the union-find's
+// all-zero ready state by clearing exactly the entries this run touched,
+// then tally strip components minus cross-border merges.
+func (e *Engine) finish(W int) int {
 	parallelDo(W, func(w int) {
 		e.uf.clear(e.dirty[w])
 	})
-
 	total := 0
 	for w := 0; w < W; w++ {
-		total += comps[w] - links[w]
+		total += e.comps[w] - e.links[w]
 	}
 	return total
 }

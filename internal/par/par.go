@@ -32,6 +32,7 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -39,20 +40,77 @@ import (
 	"parimg/internal/seq"
 )
 
+// Algo selects the labeling algorithm the engine runs inside each strip.
+type Algo int
+
+const (
+	// AlgoAuto picks the fastest correct algorithm for the mode: the
+	// run-based engine for Binary, the BFS engine for Grey (the run table
+	// carries no colors, so δ/grey connectivity needs the BFS path).
+	AlgoAuto Algo = iota
+	// AlgoBFS forces the paper's per-pixel row-major BFS (Section 5.1).
+	AlgoBFS
+	// AlgoRuns forces the run-based two-pass engine (bit-packed rows,
+	// word-at-a-time run extraction, union-find over runs, span paints).
+	// Grey mode still falls back to BFS — the output contract is exact
+	// equality with seq.LabelBFS in every case.
+	AlgoRuns
+)
+
+func (a Algo) String() string {
+	switch a {
+	case AlgoAuto:
+		return "auto"
+	case AlgoBFS:
+		return "bfs"
+	case AlgoRuns:
+		return "runs"
+	}
+	return fmt.Sprintf("Algo(%d)", int(a))
+}
+
+// ParseAlgo resolves an -algo flag value: "auto", "bfs" or "runs".
+func ParseAlgo(s string) (Algo, error) {
+	switch s {
+	case "auto", "":
+		return AlgoAuto, nil
+	case "bfs":
+		return AlgoBFS, nil
+	case "runs":
+		return AlgoRuns, nil
+	}
+	return 0, fmt.Errorf("par: unknown algorithm %q (want auto, bfs or runs)", s)
+}
+
+// effective returns the algorithm actually executed for a mode: the run
+// engine is binary-only, so Grey always resolves to BFS, and Auto resolves
+// to runs for Binary.
+func (a Algo) effective(mode seq.Mode) Algo {
+	if mode == seq.Grey || a == AlgoBFS {
+		return AlgoBFS
+	}
+	return AlgoRuns
+}
+
 // Engine is a reusable host-parallel executor with a fixed worker count and
 // owned scratch. An Engine is not safe for concurrent use; the package
 // functions Label and Histogram pool engines and are.
 type Engine struct {
 	workers  int
-	labelers []seq.Labeler // per-worker BFS scratch
-	uf       cuf           // border-merge union-find (labels -> roots)
-	dirty    [][]uint32    // per-worker union-find entries to clear
-	shards   [][]int64     // per-worker histogram tallies
-	errs     []error       // per-worker tally errors
+	algo     Algo
+	labelers []seq.Labeler    // per-worker BFS scratch
+	runners  []seq.RunLabeler // per-worker run-engine scratch
+	bp       image.Bitplane   // shared bit-packed plane (strips filled per worker)
+	uf       cuf              // border-merge union-find (labels -> roots)
+	dirty    [][]uint32       // per-worker union-find entries to clear
+	comps    []int            // per-worker strip component counts
+	links    []int            // per-worker cross-border merge counts
+	shards   [][]int64        // per-worker histogram tallies
+	errs     []error          // per-worker tally errors
 }
 
 // NewEngine returns an engine with the given number of workers; workers <= 0
-// selects runtime.GOMAXPROCS(0).
+// selects runtime.GOMAXPROCS(0). The engine starts in AlgoAuto.
 func NewEngine(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -60,7 +118,10 @@ func NewEngine(workers int) *Engine {
 	return &Engine{
 		workers:  workers,
 		labelers: make([]seq.Labeler, workers),
+		runners:  make([]seq.RunLabeler, workers),
 		dirty:    make([][]uint32, workers),
+		comps:    make([]int, workers),
+		links:    make([]int, workers),
 		shards:   make([][]int64, workers),
 		errs:     make([]error, workers),
 	}
@@ -68,6 +129,12 @@ func NewEngine(workers int) *Engine {
 
 // Workers returns the engine's worker count.
 func (e *Engine) Workers() int { return e.workers }
+
+// SetAlgo selects the strip labeling algorithm for subsequent Label calls.
+func (e *Engine) SetAlgo(a Algo) { e.algo = a }
+
+// Algo returns the engine's configured (not mode-resolved) algorithm.
+func (e *Engine) Algo() Algo { return e.algo }
 
 // stripCount clips the worker count to at most one strip per image row.
 func (e *Engine) stripCount(n int) int {
@@ -102,10 +169,18 @@ func parallelDo(w int, fn func(int)) {
 var enginePool = sync.Pool{New: func() any { return NewEngine(0) }}
 
 // Label labels im's connected components on a pooled engine with GOMAXPROCS
-// workers. The result is identical to seq.LabelBFS. Safe for concurrent use.
+// workers and AlgoAuto dispatch. The result is identical to seq.LabelBFS.
+// Safe for concurrent use.
 func Label(im *image.Image, conn image.Connectivity, mode seq.Mode) *image.Labels {
+	return LabelWith(AlgoAuto, im, conn, mode)
+}
+
+// LabelWith is Label with an explicit algorithm choice. The result is
+// identical to seq.LabelBFS for every algorithm. Safe for concurrent use.
+func LabelWith(algo Algo, im *image.Image, conn image.Connectivity, mode seq.Mode) *image.Labels {
 	e := enginePool.Get().(*Engine)
 	defer enginePool.Put(e)
+	e.SetAlgo(algo)
 	return e.Label(im, conn, mode)
 }
 

@@ -1,0 +1,69 @@
+package par
+
+import (
+	"parimg/internal/image"
+	"parimg/internal/seq"
+)
+
+// runLabelInto is the run-based strip engine (AlgoRuns, binary mode only):
+// the hot per-pixel BFS of the bfs path is replaced by bit-packed rows
+// scanned word-at-a-time into maximal foreground runs, a strip-local
+// union-find over runs with unite-by-minimum, and span-write painting.
+// Phases 2-4 (cross-strip border merge in the concurrent union-find, final
+// update, cleanup) are shared with the BFS path, except that the final
+// update walks the strip's run table — one find and one span write per run
+// — instead of every pixel.
+//
+// Exactness: a run's seed label is the global row-major index of its first
+// pixel plus one, and the minimum-index pixel of any component fragment
+// starts a run (its left neighbor is background or would precede it in the
+// same run), so unite-by-minimum roots every fragment at exactly the label
+// the row-major BFS assigns. The result is therefore pixel-for-pixel
+// identical to seq.LabelBFS, not merely equivalent up to renaming.
+func (e *Engine) runLabelInto(im *image.Image, conn image.Connectivity, mode seq.Mode,
+	out *image.Labels, clear bool) int {
+	n := im.N
+	W := e.stripCount(n)
+	e.bp.Reset(n)
+
+	if W == 1 {
+		// Single strip: no borders to merge, and no parallelDo closure
+		// to allocate — the whole call is allocation-free at steady state.
+		e.bp.SetRows(im, 0, n)
+		return e.runners[0].LabelStrip(&e.bp, 0, n, conn, clear, out.Lab)
+	}
+
+	// Phase 1 — each worker packs its strip's rows into the shared
+	// bitplane and run-labels them: extraction, vertical unites and the
+	// paint pass all happen strip-locally with global seed labels.
+	parallelDo(W, func(w int) {
+		r0, r1 := stripBounds(w, W, n)
+		e.bp.SetRows(im, r0, r1)
+		e.comps[w] = e.runners[w].LabelStrip(&e.bp, r0, r1-r0, conn, clear,
+			out.Lab[r0*n:r1*n])
+	})
+
+	e.borderMerge(im, out, conn, mode, W)
+
+	// Phase 3 — final update over runs: a run is uniformly labeled, so one
+	// find on its painted label and one span rewrite (only when the root
+	// moved) replace the BFS path's per-pixel sweep. Background costs
+	// nothing — it has no runs.
+	parallelDo(W, func(w int) {
+		r0, _ := stripBounds(w, W, n)
+		runs := e.runners[w].Runs()
+		rowOff := e.runners[w].RowOffsets()
+		for i := 0; i+1 < len(rowOff); i++ {
+			rowBase := (r0 + i) * n
+			for k := rowOff[i]; k < rowOff[i+1]; k += 2 {
+				s, end := runs[k], runs[k+1]
+				l := out.Lab[rowBase+int(s)]
+				if r := e.uf.find(l); r != l {
+					seq.Fill32(out.Lab[rowBase+int(s):rowBase+int(end)], r)
+				}
+			}
+		}
+	})
+
+	return e.finish(W)
+}

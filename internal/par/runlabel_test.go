@@ -1,0 +1,151 @@
+package par
+
+import (
+	"fmt"
+	"testing"
+
+	"parimg/internal/image"
+	"parimg/internal/seq"
+)
+
+// TestRunLabelMatchesSequentialCatalog checks the forced run engine
+// against the sequential reference on all nine Figure 1 patterns x
+// {Conn4, Conn8} at several worker counts — exact array compare.
+func TestRunLabelMatchesSequentialCatalog(t *testing.T) {
+	for _, id := range image.AllPatterns() {
+		im := image.Generate(id, 64)
+		for _, conn := range []image.Connectivity{image.Conn4, image.Conn8} {
+			want := seq.LabelBFS(im, conn, seq.Binary)
+			for _, w := range workerCounts {
+				e := NewEngine(w)
+				e.SetAlgo(AlgoRuns)
+				got := e.Label(im, conn, seq.Binary)
+				requireIdentical(t, got, want,
+					fmt.Sprintf("runs/%v/%v/workers=%d", id, conn, w))
+			}
+		}
+	}
+}
+
+// TestRunLabelMatchesSequentialDARPA checks the run engine on the DARPA
+// benchmark scene in binary mode (every nonzero grey level is foreground),
+// both connectivities.
+func TestRunLabelMatchesSequentialDARPA(t *testing.T) {
+	im := image.DARPASynthetic()
+	for _, conn := range []image.Connectivity{image.Conn4, image.Conn8} {
+		want := seq.LabelBFS(im, conn, seq.Binary)
+		e := NewEngine(4)
+		e.SetAlgo(AlgoRuns)
+		got := e.Label(im, conn, seq.Binary)
+		requireIdentical(t, got, want, fmt.Sprintf("runs/darpa/%v", conn))
+	}
+}
+
+// TestAlgoDispatch pins the mode resolution table: Auto and Runs run the
+// run engine for Binary; Grey always resolves to BFS (the run table
+// carries no colors); BFS is never overridden.
+func TestAlgoDispatch(t *testing.T) {
+	cases := []struct {
+		algo Algo
+		mode seq.Mode
+		want Algo
+	}{
+		{AlgoAuto, seq.Binary, AlgoRuns},
+		{AlgoAuto, seq.Grey, AlgoBFS},
+		{AlgoBFS, seq.Binary, AlgoBFS},
+		{AlgoBFS, seq.Grey, AlgoBFS},
+		{AlgoRuns, seq.Binary, AlgoRuns},
+		{AlgoRuns, seq.Grey, AlgoBFS},
+	}
+	for _, c := range cases {
+		if got := c.algo.effective(c.mode); got != c.want {
+			t.Errorf("%v.effective(%v) = %v, want %v", c.algo, c.mode, got, c.want)
+		}
+	}
+}
+
+// TestGreyFallsBackToBFS proves the fallback behaviorally: forcing
+// AlgoRuns on a grey image must still produce the grey BFS labeling. The
+// run engine would merge differently-colored touching components (it only
+// sees foreground bits), so correct grey output is only possible via the
+// BFS path.
+func TestGreyFallsBackToBFS(t *testing.T) {
+	// Two touching bars of different colors: one binary component but two
+	// grey components.
+	im := image.New(8)
+	for i := 0; i < 8; i++ {
+		im.Set(i, 2, 1)
+		im.Set(i, 3, 2)
+	}
+	e := NewEngine(3)
+	e.SetAlgo(AlgoRuns)
+	got := e.Label(im, image.Conn8, seq.Grey)
+	want := seq.LabelBFS(im, image.Conn8, seq.Grey)
+	requireIdentical(t, got, want, "grey fallback")
+	if c := got.Components(); c != 2 {
+		t.Fatalf("grey labeling found %d components, want 2", c)
+	}
+
+	// And the full DARPA scene, the acceptance case.
+	darpa := image.DARPASynthetic()
+	wantD := seq.LabelBFS(darpa, image.Conn8, seq.Grey)
+	gotD := e.Label(darpa, image.Conn8, seq.Grey)
+	requireIdentical(t, gotD, wantD, "grey fallback darpa")
+}
+
+// TestParseAlgo checks flag-value parsing and String round-trips.
+func TestParseAlgo(t *testing.T) {
+	for _, c := range []struct {
+		s    string
+		want Algo
+	}{{"auto", AlgoAuto}, {"", AlgoAuto}, {"bfs", AlgoBFS}, {"runs", AlgoRuns}} {
+		got, err := ParseAlgo(c.s)
+		if err != nil || got != c.want {
+			t.Errorf("ParseAlgo(%q) = %v, %v; want %v", c.s, got, err, c.want)
+		}
+	}
+	if _, err := ParseAlgo("dfs"); err == nil {
+		t.Error("ParseAlgo(dfs): want error")
+	}
+	for _, a := range []Algo{AlgoAuto, AlgoBFS, AlgoRuns} {
+		back, err := ParseAlgo(a.String())
+		if err != nil || back != a {
+			t.Errorf("round-trip %v: got %v, %v", a, back, err)
+		}
+	}
+}
+
+// TestRunEngineReuseAndInto runs one engine across sizes, algorithms and
+// dirty outputs to prove the run scratch (bitplane, run tables, union-find)
+// resets correctly between calls.
+func TestRunEngineReuseAndInto(t *testing.T) {
+	e := NewEngine(4)
+	e.SetAlgo(AlgoRuns)
+	for i, n := range []int{64, 32, 65, 16, 64} {
+		im := image.RandomBinary(n, 0.5, uint64(i+1))
+		want := seq.LabelBFS(im, image.Conn8, seq.Binary)
+		got := e.Label(im, image.Conn8, seq.Binary)
+		requireIdentical(t, got, want, fmt.Sprintf("runs reuse case %d", i))
+
+		out := image.NewLabels(n)
+		for j := range out.Lab {
+			out.Lab[j] = 12345
+		}
+		comps := e.LabelInto(im, image.Conn8, seq.Binary, out)
+		requireIdentical(t, out, want, fmt.Sprintf("runs reuse into case %d", i))
+		if wc := want.Components(); comps != wc {
+			t.Fatalf("case %d: components = %d, want %d", i, comps, wc)
+		}
+	}
+}
+
+// TestLabelWithPooled exercises the pooled package-level entry point for
+// both explicit algorithms.
+func TestLabelWithPooled(t *testing.T) {
+	im := image.Generate(image.DualSpiral, 96)
+	want := seq.LabelBFS(im, image.Conn8, seq.Binary)
+	for _, algo := range []Algo{AlgoAuto, AlgoBFS, AlgoRuns} {
+		got := LabelWith(algo, im, image.Conn8, seq.Binary)
+		requireIdentical(t, got, want, fmt.Sprintf("pooled %v", algo))
+	}
+}

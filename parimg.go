@@ -53,6 +53,8 @@ type (
 	MachineSpec = bdm.CostParams
 	// Report is the simulated execution report of a parallel run.
 	Report = bdm.Report
+	// Algo selects the host-parallel strip labeling algorithm.
+	Algo = par.Algo
 )
 
 // Connectivity and mode constants.
@@ -63,6 +65,21 @@ const (
 	Binary = seq.Binary
 	Grey   = seq.Grey
 )
+
+// Host-parallel strip labeling algorithms (LabelOptions.Algo; honored by
+// the host-parallel backend only). AlgoAuto runs the run-based engine for
+// Binary mode and the per-pixel BFS for Grey; AlgoRuns forces the run
+// engine where legal (Grey still falls back to BFS); AlgoBFS always runs
+// the paper's Section 5.1 BFS. Every choice produces the exact labeling of
+// LabelSequential.
+const (
+	AlgoAuto = par.AlgoAuto
+	AlgoBFS  = par.AlgoBFS
+	AlgoRuns = par.AlgoRuns
+)
+
+// ParseAlgo resolves an -algo flag value ("auto", "bfs", "runs").
+func ParseAlgo(s string) (Algo, error) { return par.ParseAlgo(s) }
 
 // The nine scalable binary test patterns of the paper's Figure 1.
 const (
@@ -227,6 +244,10 @@ type LabelOptions struct {
 	// FullRelabel relabels whole tiles after every merge instead of the
 	// paper's limited border-and-hooks updating.
 	FullRelabel bool
+	// Algo selects the strip labeling algorithm of the host-parallel
+	// backend (LabelParallel / ParallelEngine); the simulator ignores it.
+	// Default AlgoAuto: run-based for Binary, BFS for Grey.
+	Algo Algo
 }
 
 // CCResult is the outcome of a parallel connected components run.
@@ -387,15 +408,15 @@ func LabelSequential(im *Image, conn Connectivity, mode Mode) *Labels {
 // GOMAXPROCS worker goroutines for real wall-clock speedup, with border
 // merges resolved by a concurrent union-find instead of a simulated
 // message-passing machine. The labeling is pixel-for-pixel identical to
-// LabelSequential (and to Simulator.Label). Only Conn and Mode of the
-// options are honored — the remaining fields configure simulator-only
+// LabelSequential (and to Simulator.Label). Only Conn, Mode and Algo of
+// the options are honored — the remaining fields configure simulator-only
 // ablations. Safe for concurrent use.
 func LabelParallel(im *Image, opt LabelOptions) *Labels {
 	conn := opt.Conn
 	if conn == 0 {
 		conn = Conn8
 	}
-	return par.Label(im, conn, opt.Mode)
+	return par.LabelWith(opt.Algo, im, conn, opt.Mode)
 }
 
 // HistogramParallel computes the k-bucket histogram of im on the
