@@ -36,8 +36,12 @@ bench-json:
 fuzz-short:
 	$(GO) test -fuzz FuzzRunLabelMatchesBFS -fuzztime 30s ./internal/par/
 
+# Regenerate the committed experiment artifacts: the captured
+# cmd/experiments output and the phasereport tables in EXPERIMENTS.md
+# (the section between the phasereport:begin/end markers).
 experiments:
-	$(GO) run ./cmd/experiments all
+	$(GO) run ./cmd/experiments all | tee experiments_output.txt
+	$(GO) run ./cmd/phasereport -update EXPERIMENTS.md
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -58,9 +58,10 @@ type report struct {
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_runs.json", "output file")
-		workers = cli.WorkersFlag(flag.CommandLine)
-		minTime = flag.Duration("mintime", 200*time.Millisecond, "minimum measuring time per configuration")
+		out         = flag.String("o", "BENCH_runs.json", "output file")
+		workers     = cli.WorkersFlag(flag.CommandLine)
+		minTime     = flag.Duration("mintime", 200*time.Millisecond, "minimum measuring time per configuration")
+		metricsPath = cli.MetricsFlag(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -95,6 +96,12 @@ func main() {
 	// patterns for the geometric-mean summary.
 	var logSpeedupSum float64
 	var logSpeedupN int
+
+	// With -metrics, every host-parallel configuration gets one extra
+	// instrumented labeling (outside the timed loop) and the per-phase
+	// documents are written as one JSON array.
+	var metricsDocs []*parimg.Metrics
+	rec := parimg.NewMetricsRecorder()
 
 	for _, in := range inputs {
 		n := in.im.N
@@ -144,6 +151,19 @@ func main() {
 					comps = eng.LabelInto(in.im, parimg.Conn8, parimg.Binary, got)
 				})
 				record("par", algoName, w, ns, got, comps)
+				if *metricsPath != "" {
+					rec.Reset()
+					eng.SetObserver(rec)
+					t0 := time.Now()
+					eng.LabelInto(in.im, parimg.Conn8, parimg.Binary, got)
+					instrNS := time.Since(t0).Nanoseconds()
+					eng.SetObserver(nil)
+					m := rec.Snapshot()
+					m.Command, m.Backend, m.Algo = "benchjson", "par", algoName
+					m.Workers, m.Image, m.N = w, in.name, n
+					m.TotalNS = instrNS
+					metricsDocs = append(metricsDocs, m)
+				}
 				if w == 1 {
 					if algoName == "bfs" {
 						bfs1 = ns
@@ -174,6 +194,12 @@ func main() {
 	}
 	if err := f.Close(); err != nil {
 		fatal(err)
+	}
+	if *metricsPath != "" {
+		if err := cli.WriteMetricsList(*metricsPath, metricsDocs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d per-configuration metrics documents)\n", *metricsPath, len(metricsDocs))
 	}
 	fmt.Printf("wrote %s (gomaxprocs=%d, numcpu=%d, geomean runs/bfs @1w/1024 = %.2fx)\n",
 		*out, rep.GoMaxProcs, rep.NumCPU, rep.GeomeanRunsOverBFS1W1024)

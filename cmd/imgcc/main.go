@@ -26,24 +26,25 @@ import (
 
 func main() {
 	var (
-		patternName = flag.String("pattern", "", "catalog test image name (e.g. dual-spiral, cross)")
-		random      = flag.Float64("random", -1, "random binary image with this foreground density")
-		darpa       = flag.Bool("darpa", false, "use the synthetic DARPA benchmark scene")
-		inFile      = flag.String("in", "", "read a PGM image from this file")
-		n           = flag.Int("n", 512, "image side for generated images")
-		p           = flag.Int("p", 32, "number of simulated processors (power of two)")
-		machineName = flag.String("machine", "cm5", "machine profile: cm5, sp1, sp2, cs2, paragon, ideal")
+		patternName = cli.PatternFlag(flag.CommandLine)
+		random      = cli.RandomFlag(flag.CommandLine)
+		darpa       = cli.DarpaFlag(flag.CommandLine)
+		inFile      = cli.InFlag(flag.CommandLine)
+		n           = cli.NFlag(flag.CommandLine)
+		p           = cli.PFlag(flag.CommandLine)
+		machineName = cli.MachineFlag(flag.CommandLine)
 		conn        = flag.Int("conn", 8, "connectivity: 4 or 8")
 		grey        = flag.Bool("grey", false, "grey-scale components (like-colored pixels connect)")
-		seed        = flag.Uint64("seed", 1, "seed for random images")
+		seed        = cli.SeedFlag(flag.CommandLine)
 		top         = flag.Int("top", 10, "print the sizes of the largest components")
 		direct      = flag.Bool("direct-dist", false, "use the unimproved direct change distribution")
 		noShadow    = flag.Bool("no-shadow", false, "disable shadow managers")
 		fullRelabel = flag.Bool("full-relabel", false, "relabel whole tiles every merge (disable limited updating)")
 		compare     = flag.Bool("compare", false, "run all three parallel algorithms and compare")
-		backend     = flag.String("backend", "sim", "execution backend: sim (BDM simulator), par (host-parallel), seq (sequential)")
-		algoName    = flag.String("algo", "auto", "strip labeling algorithm for -backend par: auto, bfs or runs")
+		backend     = cli.BackendFlag(flag.CommandLine)
+		algoName    = cli.AlgoFlag(flag.CommandLine)
 		workers     = cli.WorkersFlag(flag.CommandLine)
+		metricsPath = cli.MetricsFlag(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -76,7 +77,8 @@ func main() {
 			os.Exit(1)
 		}
 		opt0.Algo = algo
-		runHost(*backend, im, opt0, *workers, *top)
+		runHost(*backend, im, opt0, *workers, *top,
+			*metricsPath, cli.ImageName(*patternName, *darpa, *inFile))
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "imgcc: unknown backend %q (want sim, par or seq)\n", *backend)
@@ -97,10 +99,28 @@ func main() {
 		compareAlgorithms(sim, im, opt, spec.Name, *p)
 		return
 	}
+	rec := parimg.NewMetricsRecorder()
+	if *metricsPath != "" {
+		sim.SetObserver(rec)
+	}
 	res, err := sim.Label(im, opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
 		os.Exit(1)
+	}
+	if *metricsPath != "" {
+		m := rec.Snapshot()
+		m.Command, m.Backend, m.Machine = "imgcc", "sim", spec.Name
+		m.Procs, m.N = *p, im.N
+		m.Image = cli.ImageName(*patternName, *darpa, *inFile)
+		m.SimTimeS = res.Report.SimTime
+		m.CompTimeS = res.Report.CompTime
+		m.CommTimeS = res.Report.CommTime
+		m.TotalNS = res.Report.Wall.Nanoseconds()
+		if err := cli.WriteMetrics(*metricsPath, m); err != nil {
+			fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("%s, p=%d, %dx%d image, %v, %v mode\n",
@@ -116,28 +136,48 @@ func main() {
 
 // runHost labels on the host itself — the parallel engine or the
 // sequential baseline — and reports real wall-clock time instead of the
-// simulator's modeled costs.
-func runHost(backend string, im *parimg.Image, opt parimg.LabelOptions, workers, top int) {
-	var (
-		labels *parimg.Labels
-		start  = time.Now()
-	)
+// simulator's modeled costs. The labels buffer is allocated before the
+// timed region, so the wall time (and metrics TotalNS) covers exactly the
+// labeling work the recorded phases decompose.
+func runHost(backend string, im *parimg.Image, opt parimg.LabelOptions,
+	workers, top int, metricsPath, imageName string) {
+	labels := parimg.NewLabels(im.N)
+	rec := parimg.NewMetricsRecorder()
+	var elapsed time.Duration
 	if backend == "par" {
 		workers = cli.Workers(workers)
 		eng := parimg.NewParallelEngine(workers)
 		eng.SetAlgo(opt.Algo)
-		labels = eng.Label(im, connOf(opt), opt.Mode)
-		elapsed := time.Since(start)
+		if metricsPath != "" {
+			eng.SetObserver(rec)
+		}
+		start := time.Now()
+		eng.LabelInto(im, connOf(opt), opt.Mode, labels)
+		elapsed = time.Since(start)
 		fmt.Printf("host-parallel, workers=%d (GOMAXPROCS=%d), algo=%v, %dx%d image, %v, %v mode\n",
 			workers, runtime.GOMAXPROCS(0), opt.Algo, im.N, im.N, connOf(opt), opt.Mode)
 		fmt.Printf("%d connected components, wall time %v\n", labels.Components(), elapsed)
 	} else {
+		start := time.Now()
 		labels = parimg.LabelSequential(im, connOf(opt), opt.Mode)
-		elapsed := time.Since(start)
+		elapsed = time.Since(start)
 		fmt.Printf("sequential baseline, %dx%d image, %v, %v mode\n", im.N, im.N, connOf(opt), opt.Mode)
 		fmt.Printf("%d connected components, wall time %v\n", labels.Components(), elapsed)
 	}
 	printTop(labels, top)
+	if metricsPath != "" {
+		m := rec.Snapshot()
+		m.Command, m.Backend, m.Algo = "imgcc", backend, opt.Algo.String()
+		if backend == "par" {
+			m.Workers = workers
+		}
+		m.Image, m.N = imageName, im.N
+		m.TotalNS = elapsed.Nanoseconds()
+		if err := cli.WriteMetrics(metricsPath, m); err != nil {
+			fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func connOf(opt parimg.LabelOptions) parimg.Connectivity {

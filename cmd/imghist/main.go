@@ -26,19 +26,20 @@ import (
 
 func main() {
 	var (
-		patternName = flag.String("pattern", "", "catalog test image name (e.g. dual-spiral, filled-disc)")
-		random      = flag.Float64("random", -1, "random binary image with this foreground density")
+		patternName = cli.PatternFlag(flag.CommandLine)
+		random      = cli.RandomFlag(flag.CommandLine)
 		randomGrey  = flag.Bool("random-grey", false, "random grey image with k levels")
-		darpa       = flag.Bool("darpa", false, "use the synthetic DARPA benchmark scene (512x512, 256 greys)")
-		inFile      = flag.String("in", "", "read a PGM image from this file")
-		n           = flag.Int("n", 512, "image side for generated images")
+		darpa       = cli.DarpaFlag(flag.CommandLine)
+		inFile      = cli.InFlag(flag.CommandLine)
+		n           = cli.NFlag(flag.CommandLine)
 		k           = flag.Int("k", 256, "number of grey levels (power of two)")
-		p           = flag.Int("p", 32, "number of simulated processors (power of two)")
-		machineName = flag.String("machine", "cm5", "machine profile: cm5, sp1, sp2, cs2, paragon, ideal")
-		seed        = flag.Uint64("seed", 1, "seed for random images")
+		p           = cli.PFlag(flag.CommandLine)
+		machineName = cli.MachineFlag(flag.CommandLine)
+		seed        = cli.SeedFlag(flag.CommandLine)
 		quiet       = flag.Bool("quiet", false, "print only the timing summary")
-		backend     = flag.String("backend", "sim", "execution backend: sim (BDM simulator), par (host-parallel), seq (sequential)")
+		backend     = cli.BackendFlag(flag.CommandLine)
 		workers     = cli.WorkersFlag(flag.CommandLine)
+		metricsPath = cli.MetricsFlag(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -47,11 +48,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
 		os.Exit(1)
 	}
+	imageName := cli.ImageName(*patternName, *darpa, *inFile)
 	switch *backend {
 	case "sim":
 		// fall through to the simulator below
 	case "par", "seq":
-		runHost(*backend, im, *k, *workers, *quiet)
+		runHost(*backend, im, *k, *workers, *quiet, *metricsPath, imageName)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "imghist: unknown backend %q (want sim, par or seq)\n", *backend)
@@ -67,10 +69,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
 		os.Exit(1)
 	}
+	rec := parimg.NewMetricsRecorder()
+	if *metricsPath != "" {
+		sim.SetObserver(rec)
+	}
 	res, err := sim.Histogram(im, *k)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
 		os.Exit(1)
+	}
+	if *metricsPath != "" {
+		m := rec.Snapshot()
+		m.Command, m.Backend, m.Machine = "imghist", "sim", spec.Name
+		m.Procs, m.Image, m.N, m.K = *p, imageName, im.N, *k
+		m.SimTimeS = res.Report.SimTime
+		m.CompTimeS = res.Report.CompTime
+		m.CommTimeS = res.Report.CommTime
+		m.TotalNS = res.Report.Wall.Nanoseconds()
+		if err := cli.WriteMetrics(*metricsPath, m); err != nil {
+			fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if !*quiet {
@@ -91,15 +110,21 @@ func main() {
 // runHost histograms on the host itself — the parallel engine or the
 // sequential baseline — and reports real wall-clock time instead of the
 // simulator's modeled costs.
-func runHost(backend string, im *parimg.Image, k, workers int, quiet bool) {
+func runHost(backend string, im *parimg.Image, k, workers int, quiet bool,
+	metricsPath, imageName string) {
 	var (
-		h     []int64
-		err   error
-		start = time.Now()
+		h   []int64
+		err error
+		rec = parimg.NewMetricsRecorder()
 	)
+	start := time.Now()
 	if backend == "par" {
 		workers = cli.Workers(workers)
-		h, err = parimg.NewParallelEngine(workers).Histogram(im, k)
+		eng := parimg.NewParallelEngine(workers)
+		if metricsPath != "" {
+			eng.SetObserver(rec)
+		}
+		h, err = eng.Histogram(im, k)
 	} else {
 		h, err = parimg.HistogramSequential(im, k)
 	}
@@ -122,6 +147,19 @@ func runHost(backend string, im *parimg.Image, k, workers int, quiet bool) {
 		fmt.Printf("sequential baseline, %dx%d image, k=%d\n", im.N, im.N, k)
 	}
 	fmt.Printf("wall time %v\n", elapsed)
+	if metricsPath != "" {
+		m := rec.Snapshot()
+		m.Command, m.Backend = "imghist", backend
+		if backend == "par" {
+			m.Workers = workers
+		}
+		m.Image, m.N, m.K = imageName, im.N, k
+		m.TotalNS = elapsed.Nanoseconds()
+		if err := cli.WriteMetrics(metricsPath, m); err != nil {
+			fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func loadImage(pattern string, density float64, grey, darpa bool, inFile string, n, k int, seed uint64) (*parimg.Image, error) {

@@ -70,6 +70,29 @@ func ExampleSimulator_Label() {
 	// 4-connectivity: 2
 }
 
+// ExampleLabelOptions labels on the host-parallel backend with a metrics
+// recorder installed and reads the run's phase and counter record. The run
+// count (maximal foreground runs) is a property of the image alone, so it
+// is stable across worker counts; phase wall times vary per host and are
+// only checked for presence.
+func ExampleLabelOptions() {
+	im := parimg.GeneratePattern(parimg.FourSquares, 64)
+	rec := parimg.NewMetricsRecorder()
+	labels := parimg.LabelParallel(im, parimg.LabelOptions{
+		Conn:    parimg.Conn8,
+		Algo:    parimg.AlgoRuns,
+		Metrics: rec,
+	})
+	m := rec.Snapshot()
+	fmt.Println("components:", labels.Components())
+	fmt.Println("phases recorded:", len(m.Phases) > 0)
+	fmt.Println("runs extracted:", m.Counters["runs"])
+	// Output:
+	// components: 4
+	// phases recorded: true
+	// runs extracted: 64
+}
+
 // ExampleOtsuThreshold segments a bimodal histogram.
 func ExampleOtsuThreshold() {
 	h := make([]int64, 16)

@@ -26,6 +26,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"parimg/internal/obs"
 )
 
 // CostParams describes one target machine in BDM terms. The profiles for the
@@ -90,6 +92,11 @@ type Machine struct {
 	// tracing enables span recording on every processor (see trace.go).
 	tracing bool
 
+	// observer receives per-primitive modeled communication volume (tau
+	// count and words moved, attributed to each processor's current
+	// communication label at Sync time). nil disables the accounting.
+	observer *obs.Recorder
+
 	mu     sync.Mutex
 	broken error // first panic observed, wrapped
 }
@@ -137,6 +144,18 @@ func (m *Machine) Close() {
 
 // P returns the number of processors.
 func (m *Machine) P() int { return m.p }
+
+// SetObserver installs (or, with nil, removes) the metrics recorder that
+// accumulates the machine's modeled communication volume per primitive:
+// every Sync that completes at least one prefetch adds one tau and the
+// batch's word count under the calling processor's current communication
+// label (see Proc.SetCommLabel). Must not be called while Run is in
+// flight; the recorder itself is safe for the concurrent processor
+// goroutines.
+func (m *Machine) SetObserver(r *obs.Recorder) { m.observer = r }
+
+// Observer returns the installed metrics recorder (nil when disabled).
+func (m *Machine) Observer() *obs.Recorder { return m.observer }
 
 // Cost returns the machine's cost parameters.
 func (m *Machine) Cost() CostParams { return m.cost }
@@ -202,6 +221,7 @@ func (m *Machine) Reset() {
 		p.pendingGets = 0
 		p.activeEpochWords = 0
 		p.passiveWords.Store(0)
+		p.commLabel = ""
 	}
 	m.mu.Lock()
 	m.broken = nil

@@ -30,6 +30,11 @@ type Proc struct {
 
 	// spans holds the activity trace when the machine has tracing on.
 	spans []Span
+
+	// commLabel names the communication primitive or algorithm region in
+	// flight; Sync attributes its tau and word charges to this label when
+	// the machine has an observer installed.
+	commLabel string
 }
 
 // Rank returns this processor's number in 0..P-1.
@@ -71,8 +76,23 @@ func (p *Proc) Sync() {
 	p.meter.Words += p.pendingWords
 	p.meter.Syncs++
 	p.activeEpochWords += p.pendingWords
+	if r := p.m.observer; r != nil {
+		r.AddComm(p.commLabel, 1, p.pendingWords)
+	}
 	p.pendingWords = 0
 	p.pendingGets = 0
+}
+
+// SetCommLabel names the communication primitive or algorithm region the
+// processor is about to perform (e.g. "transpose", "border_fetch") and
+// returns the previous label so callers can restore it. The label scopes
+// the machine observer's per-primitive tau/word accounting; with no
+// observer installed it is a plain field write. Must be called from the
+// processor's own goroutine, like every other Proc method.
+func (p *Proc) SetCommLabel(label string) (prev string) {
+	prev = p.commLabel
+	p.commLabel = label
+	return prev
 }
 
 // Pending returns the number of outstanding prefetch operations and the

@@ -309,6 +309,7 @@ func (st *sharedState) runPhase(pr *bdm.Proc, loc *procLocal, ph Phase) {
 	pr.Barrier() // B2
 
 	// Distribute the change array to the group (Section 5.4).
+	prevLabel := pr.SetCommLabel("change_dist")
 	c := int(bdm.GetScalar(pr, st.chN, grp.Manager, 0))
 	pr.Sync()
 	switch st.opt.ChangeDist {
@@ -344,6 +345,7 @@ func (st *sharedState) runPhase(pr *bdm.Proc, loc *procLocal, ph Phase) {
 			pr.Sync()
 		}
 	}
+	pr.SetCommLabel(prevLabel)
 
 	// Apply the changes: the paper's limited updating touches only the
 	// tile-border pixels and the hooks; the ablation relabels the whole

@@ -204,6 +204,22 @@ func (e *Engine) Run(im *image.Image, opt Options) (*Result, error) {
 		return nil, err
 	}
 
+	// Mirror the stage breakdown into the machine's metrics recorder as
+	// modeled phases: merge iterations are children of one top-level
+	// "merge" phase so top-level sums still equal SimTime.
+	if r := m.Observer(); r != nil {
+		r.AddModelPhase("init", "", st.stages.Init)
+		var mergeTotal float64
+		for _, t := range st.stages.Merge {
+			mergeTotal += t
+		}
+		r.AddModelPhase("merge", "", mergeTotal)
+		for i, t := range st.stages.Merge {
+			r.AddModelPhase(fmt.Sprintf("merge[%d]", i), "merge", t)
+		}
+		r.AddModelPhase("final_update", "", st.stages.Final)
+	}
+
 	out := image.NewLabels(im.N)
 	for rank := 0; rank < m.P(); rank++ {
 		lay.GatherLabels(out, rank, st.tileLab.Row(rank))

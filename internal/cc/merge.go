@@ -37,11 +37,13 @@ func (st *sharedState) loadSide(pr *bdm.Proc, loc *procLocal, grp Group, side in
 	}
 	loc.sidePix[side] = loc.sidePix[side][:grp.Side]
 	loc.sideLab[side] = loc.sideLab[side][:grp.Side]
+	prev := pr.SetCommLabel("border_fetch")
 	for si, src := range grp.borderSources(st.lay, side == 0) {
 		bdm.Get(pr, loc.sidePix[side][si*chunk:(si+1)*chunk], pixS, src, 0)
 		bdm.Get(pr, loc.sideLab[side][si*chunk:(si+1)*chunk], labS, src, 0)
 	}
 	pr.Sync()
+	pr.SetCommLabel(prev)
 	pr.Work(2 * grp.Side)
 }
 
@@ -65,6 +67,7 @@ func (st *sharedState) sortSide(pr *bdm.Proc, loc *procLocal, side, n int) {
 // (count, sorted labels and positions, positional colors) and reconstructs
 // the positional label array locally.
 func (st *sharedState) fetchShadowSide(pr *bdm.Proc, loc *procLocal, grp Group) {
+	prev := pr.SetCommLabel("border_fetch")
 	cnt := int(bdm.GetScalar(pr, st.shCnt, grp.Shadow, 0))
 	pr.Sync()
 	if cap(loc.skeys) < cnt {
@@ -83,6 +86,7 @@ func (st *sharedState) fetchShadowSide(pr *bdm.Proc, loc *procLocal, grp Group) 
 	bdm.Get(pr, loc.svals, st.shSortPos, grp.Shadow, 0)
 	bdm.Get(pr, loc.sidePix[1], st.shPixPos, grp.Shadow, 0)
 	pr.Sync()
+	pr.SetCommLabel(prev)
 
 	pairs := loc.pairs[1][:0]
 	for i := range loc.sideLab[1] {

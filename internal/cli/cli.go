@@ -1,21 +1,107 @@
 // Package cli holds the flag conventions shared by the repo's commands, so
-// imgcc, imghist and benchjson agree on flag names, defaults and semantics
-// instead of re-implementing them with drift.
+// imgcc, imghist and benchjson agree on flag names, defaults, help text and
+// semantics instead of re-implementing them with drift. Every shared flag
+// has one usage constant and one constructor here; a command that needs the
+// flag calls the constructor and gets identical help output to its
+// siblings (pinned by the help-consistency test).
 package cli
 
 import (
 	"flag"
+	"fmt"
 	"runtime"
+
+	"parimg/internal/obs"
 )
 
-// WorkersUsage is the shared help text of the -workers flag.
-const WorkersUsage = "worker goroutines for the host-parallel engine (<= 0 selects GOMAXPROCS)"
+// Shared usage strings. Commands must not restate these inline.
+const (
+	// WorkersUsage is the help text of the -workers flag.
+	WorkersUsage = "worker goroutines for the host-parallel engine (<= 0 selects GOMAXPROCS)"
+	// BackendUsage is the help text of the -backend flag.
+	BackendUsage = "execution backend: sim (BDM simulator), par (host-parallel), seq (sequential)"
+	// AlgoUsage is the help text of the -algo flag.
+	AlgoUsage = "strip labeling algorithm for -backend par: auto, bfs or runs"
+	// MetricsUsage is the help text of the -metrics flag.
+	MetricsUsage = "write a " + obs.Schema + " JSON metrics document (phase times, counters, comm volume) to this file"
+	// PatternUsage is the help text of the -pattern flag.
+	PatternUsage = "catalog test image name (e.g. dual-spiral, filled-disc, cross)"
+	// RandomUsage is the help text of the -random flag.
+	RandomUsage = "random binary image with this foreground density"
+	// DarpaUsage is the help text of the -darpa flag.
+	DarpaUsage = "use the synthetic DARPA benchmark scene (512x512, 256 greys)"
+	// InUsage is the help text of the -in flag.
+	InUsage = "read a PGM image from this file"
+	// NUsage is the help text of the -n flag.
+	NUsage = "image side for generated images"
+	// PUsage is the help text of the -p flag.
+	PUsage = "number of simulated processors (power of two)"
+	// MachineUsage is the help text of the -machine flag.
+	MachineUsage = "machine profile: cm5, sp1, sp2, cs2, paragon, ideal"
+	// SeedUsage is the help text of the -seed flag.
+	SeedUsage = "seed for random images"
+)
 
 // WorkersFlag registers the canonical -workers flag on fs: name "workers",
 // default 0 (meaning GOMAXPROCS at use time). Pass flag.CommandLine from a
 // command's main.
 func WorkersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, WorkersUsage)
+}
+
+// BackendFlag registers the canonical -backend flag (default "sim").
+func BackendFlag(fs *flag.FlagSet) *string {
+	return fs.String("backend", "sim", BackendUsage)
+}
+
+// AlgoFlag registers the canonical -algo flag (default "auto").
+func AlgoFlag(fs *flag.FlagSet) *string {
+	return fs.String("algo", "auto", AlgoUsage)
+}
+
+// MetricsFlag registers the canonical -metrics flag (default "", disabled).
+func MetricsFlag(fs *flag.FlagSet) *string {
+	return fs.String("metrics", "", MetricsUsage)
+}
+
+// PatternFlag registers the canonical -pattern flag (default "", none).
+func PatternFlag(fs *flag.FlagSet) *string {
+	return fs.String("pattern", "", PatternUsage)
+}
+
+// RandomFlag registers the canonical -random flag (default -1, disabled).
+func RandomFlag(fs *flag.FlagSet) *float64 {
+	return fs.Float64("random", -1, RandomUsage)
+}
+
+// DarpaFlag registers the canonical -darpa flag (default false).
+func DarpaFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("darpa", false, DarpaUsage)
+}
+
+// InFlag registers the canonical -in flag (default "", none).
+func InFlag(fs *flag.FlagSet) *string {
+	return fs.String("in", "", InUsage)
+}
+
+// NFlag registers the canonical -n flag (default 512).
+func NFlag(fs *flag.FlagSet) *int {
+	return fs.Int("n", 512, NUsage)
+}
+
+// PFlag registers the canonical -p flag (default 32).
+func PFlag(fs *flag.FlagSet) *int {
+	return fs.Int("p", 32, PUsage)
+}
+
+// MachineFlag registers the canonical -machine flag (default "cm5").
+func MachineFlag(fs *flag.FlagSet) *string {
+	return fs.String("machine", "cm5", MachineUsage)
+}
+
+// SeedFlag registers the canonical -seed flag (default 1).
+func SeedFlag(fs *flag.FlagSet) *uint64 {
+	return fs.Uint64("seed", 1, SeedUsage)
 }
 
 // Workers normalizes a parsed -workers value: n <= 0 selects
@@ -25,4 +111,48 @@ func Workers(n int) int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return n
+}
+
+// ImageName returns the metrics-document name of the input the standard
+// image-selection flags resolve to, mirroring the precedence of the
+// commands' loadImage helpers: an input file beats -darpa beats -pattern
+// beats the random fallback.
+func ImageName(pattern string, darpa bool, inFile string) string {
+	switch {
+	case inFile != "":
+		return inFile
+	case darpa:
+		return "darpa"
+	case pattern != "":
+		return pattern
+	}
+	return "random"
+}
+
+// WriteMetrics validates m and writes it to path as indented JSON. A no-op
+// when path is empty (the -metrics flag default), so commands call it
+// unconditionally.
+func WriteMetrics(path string, m *obs.Metrics) error {
+	if path == "" {
+		return nil
+	}
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("cli: refusing to write invalid metrics: %w", err)
+	}
+	return obs.WriteFile(path, m)
+}
+
+// WriteMetricsList validates every document and writes the list to path as
+// one indented JSON array — the multi-configuration form benchjson emits. A
+// no-op when path is empty.
+func WriteMetricsList(path string, ms []*obs.Metrics) error {
+	if path == "" {
+		return nil
+	}
+	for i, m := range ms {
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("cli: refusing to write invalid metrics (entry %d): %w", i, err)
+		}
+	}
+	return obs.WriteFileList(path, ms)
 }

@@ -2,8 +2,12 @@ package cli
 
 import (
 	"flag"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
+
+	"parimg/internal/obs"
 )
 
 func TestWorkersNormalization(t *testing.T) {
@@ -38,5 +42,118 @@ func TestWorkersFlag(t *testing.T) {
 	}
 	if Workers(*w2) != 5 {
 		t.Fatalf("parsed -workers 5 -> %d", Workers(*w2))
+	}
+}
+
+func TestFlagConstructorsRegisterCanonicalNames(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	WorkersFlag(fs)
+	BackendFlag(fs)
+	AlgoFlag(fs)
+	MetricsFlag(fs)
+	PatternFlag(fs)
+	RandomFlag(fs)
+	DarpaFlag(fs)
+	InFlag(fs)
+	NFlag(fs)
+	PFlag(fs)
+	MachineFlag(fs)
+	SeedFlag(fs)
+	for _, name := range []string{
+		"workers", "backend", "algo", "metrics", "pattern", "random",
+		"darpa", "in", "n", "p", "machine", "seed",
+	} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("constructor did not register -%s", name)
+		}
+	}
+	if f := fs.Lookup("backend"); f != nil && f.DefValue != "sim" {
+		t.Errorf("-backend default = %q, want sim", f.DefValue)
+	}
+	if f := fs.Lookup("algo"); f != nil && f.DefValue != "auto" {
+		t.Errorf("-algo default = %q, want auto", f.DefValue)
+	}
+}
+
+func TestImageName(t *testing.T) {
+	cases := []struct {
+		pattern, in string
+		darpa       bool
+		want        string
+	}{
+		{"", "", false, "random"},
+		{"dual-spiral", "", false, "dual-spiral"},
+		{"", "", true, "darpa"},
+		{"dual-spiral", "", true, "darpa"},
+		{"dual-spiral", "scene.pgm", true, "scene.pgm"},
+	}
+	for _, c := range cases {
+		if got := ImageName(c.pattern, c.darpa, c.in); got != c.want {
+			t.Errorf("ImageName(%q, %v, %q) = %q, want %q",
+				c.pattern, c.darpa, c.in, got, c.want)
+		}
+	}
+}
+
+func TestWriteMetrics(t *testing.T) {
+	// Empty path is a silent no-op.
+	if err := WriteMetrics("", &obs.Metrics{}); err != nil {
+		t.Fatalf("WriteMetrics(\"\") = %v, want nil", err)
+	}
+
+	r := obs.NewRecorder()
+	t0 := r.StartPhase()
+	r.EndPhase("work", "", t0)
+	m := r.Snapshot()
+	m.Command, m.Backend = "test", "par"
+
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := WriteMetrics(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != obs.Schema || back.Command != "test" || len(back.Phases) != 1 {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+
+	// An invalid document (phase with unknown parent) must be rejected
+	// before anything is written.
+	bad := &obs.Metrics{Schema: obs.Schema,
+		Phases: []obs.Phase{{Name: "child", Parent: "absent"}}}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := WriteMetrics(badPath, bad); err == nil {
+		t.Error("WriteMetrics accepted a document with a dangling parent")
+	}
+	if _, statErr := os.Stat(badPath); !os.IsNotExist(statErr) {
+		t.Error("invalid document was written to disk")
+	}
+}
+
+func TestWriteMetricsList(t *testing.T) {
+	if err := WriteMetricsList("", nil); err != nil {
+		t.Fatalf("WriteMetricsList(\"\") = %v, want nil", err)
+	}
+	r := obs.NewRecorder()
+	t0 := r.StartPhase()
+	r.EndPhase("a", "", t0)
+	m1 := r.Snapshot()
+	r.Reset()
+	t0 = r.StartPhase()
+	r.EndPhase("b", "", t0)
+	m2 := r.Snapshot()
+
+	path := filepath.Join(t.TempDir(), "list.json")
+	if err := WriteMetricsList(path, []*obs.Metrics{m1, m2}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadFileList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Phases[0].Name != "a" || back[1].Phases[0].Name != "b" {
+		t.Errorf("round trip mismatch: %d docs", len(back))
 	}
 }

@@ -16,6 +16,7 @@ func Scatter(p *bdm.Proc, out, in *bdm.Spread[uint32], m, root int) {
 	if m < 0 || np*m > in.PerProc() || m > out.PerProc() {
 		panic(fmt.Sprintf("comm: Scatter m=%d out of range", m))
 	}
+	defer label(p, "scatter")()
 	i := p.Rank()
 	bdm.Get(p, out.Local(p)[:m], in, root, i*m)
 	p.Work(m)
@@ -31,6 +32,7 @@ func Gather(p *bdm.Proc, out, in *bdm.Spread[uint32], m, root int) {
 	if m < 0 || m > in.PerProc() || np*m > out.PerProc() {
 		panic(fmt.Sprintf("comm: Gather m=%d out of range", m))
 	}
+	defer label(p, "gather")()
 	if p.Rank() == root {
 		local := out.Local(p)
 		for loop := 0; loop < np; loop++ {
@@ -53,6 +55,7 @@ func AllToAll(p *bdm.Proc, out, in *bdm.Spread[uint32], m int) {
 	if m < 0 || np*m > in.PerProc() || np*m > out.PerProc() {
 		panic(fmt.Sprintf("comm: AllToAll m=%d out of range", m))
 	}
+	defer label(p, "alltoall")()
 	i := p.Rank()
 	local := out.Local(p)
 	for loop := 0; loop < np; loop++ {
@@ -75,6 +78,7 @@ func PrefixSums(p *bdm.Proc, out, scratch, in *bdm.Spread[uint32], m int) {
 	if m < 0 || m > in.PerProc() || np*m > scratch.PerProc() || m > out.PerProc() {
 		panic(fmt.Sprintf("comm: PrefixSums m=%d out of range", m))
 	}
+	defer label(p, "prefix_sums")()
 	AllGather(p, scratch, in, m)
 	local := out.Local(p)
 	gathered := scratch.Local(p)

@@ -14,6 +14,16 @@ import (
 	"parimg/internal/bdm"
 )
 
+// label scopes the machine observer's per-primitive communication
+// accounting (tau count + words moved, see bdm.Machine.SetObserver) to one
+// primitive: every Sync until the returned restore function runs is
+// attributed to name. Nested primitives attribute to the innermost label.
+// Usage: defer label(p, "transpose")().
+func label(p *bdm.Proc, name string) func() {
+	prev := p.SetCommLabel(name)
+	return func() { p.SetCommLabel(prev) }
+}
+
 // Transpose performs the q x p matrix transposition of Algorithm 1.
 //
 // The matrix A is stored with column i (q elements) in processor i's block
@@ -28,6 +38,7 @@ func Transpose(p *bdm.Proc, out, in *bdm.Spread[uint32], q int) {
 	if q <= 0 || q%np != 0 {
 		panic(fmt.Sprintf("comm: Transpose requires p | q, got q=%d p=%d", q, np))
 	}
+	defer label(p, "transpose")()
 	b := q / np
 	i := p.Rank()
 	local := out.Local(p)
@@ -57,6 +68,7 @@ func Broadcast(p *bdm.Proc, buf, scratch *bdm.Spread[uint32], q, root int) {
 	if root < 0 || root >= np {
 		panic(fmt.Sprintf("comm: Broadcast root %d out of range", root))
 	}
+	defer label(p, "broadcast")()
 	b := q / np
 	i := p.Rank()
 
@@ -92,6 +104,7 @@ func BroadcastNaive(p *bdm.Proc, buf *bdm.Spread[uint32], q, root int) {
 	if root < 0 || root >= np {
 		panic(fmt.Sprintf("comm: BroadcastNaive root %d out of range", root))
 	}
+	defer label(p, "broadcast_naive")()
 	if p.Rank() != root {
 		bdm.Get(p, buf.Local(p)[:q], buf, root, 0)
 		p.Work(q)
@@ -112,6 +125,7 @@ func TruncatedTranspose(p *bdm.Proc, out, in *bdm.Spread[uint32], k int) {
 	if k <= 0 || k > np {
 		panic(fmt.Sprintf("comm: TruncatedTranspose requires 0 < k <= p, got k=%d p=%d", k, np))
 	}
+	defer label(p, "truncated_transpose")()
 	i := p.Rank()
 	if i < k {
 		local := out.Local(p)
@@ -134,6 +148,7 @@ func CollectToZero(p *bdm.Proc, out, in *bdm.Spread[uint32], m int) {
 	if m < 0 || m > in.PerProc() {
 		panic(fmt.Sprintf("comm: CollectToZero m=%d out of range", m))
 	}
+	defer label(p, "collect")()
 	if p.Rank() == 0 {
 		local := out.Local(p)
 		for loop := 0; loop < np; loop++ {
@@ -150,6 +165,7 @@ func CollectToZero(p *bdm.Proc, out, in *bdm.Spread[uint32], m int) {
 // block of out (p*m elements). It uses a circular schedule, costing
 // tau + (p-1)*m word-times per processor.
 func AllGather(p *bdm.Proc, out, in *bdm.Spread[uint32], m int) {
+	defer label(p, "allgather")()
 	np := p.P()
 	i := p.Rank()
 	local := out.Local(p)
@@ -167,6 +183,7 @@ func AllGather(p *bdm.Proc, out, in *bdm.Spread[uint32], m int) {
 // which is the structure the histogramming algorithm uses for its final
 // combine when k >= p.
 func ReduceSumToZero(p *bdm.Proc, out, scratch, in *bdm.Spread[uint32], m int) {
+	defer label(p, "reduce")()
 	np := p.P()
 	CollectToZero(p, scratch, in, m)
 	if p.Rank() == 0 {

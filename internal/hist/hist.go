@@ -128,6 +128,19 @@ func Run(m *bdm.Machine, im *image.Image, k int) (*Result, error) {
 	return NewEngine(m).Run(im, k)
 }
 
+// markStage mirrors one modeled stage time into the machine's metrics
+// recorder. Only rank 0 records, and only with deltas taken at barriers,
+// where the equalized clocks make its marks machine-wide (the same
+// technique as cc.Breakdown).
+func markStage(pr *bdm.Proc, name string, seconds float64) {
+	if pr.Rank() != 0 {
+		return
+	}
+	if r := pr.Machine().Observer(); r != nil {
+		r.AddModelPhase(name, "", seconds)
+	}
+}
+
 // runProc is the SPMD body: the per-processor program of the algorithm.
 func runProc(pr *bdm.Proc, lay image.Layout, k int,
 	tiles, local, trans, combined, out *bdm.Spread[uint32]) {
@@ -143,6 +156,8 @@ func runProc(pr *bdm.Proc, lay image.Layout, k int,
 	}
 	pr.Work(opsPerPixelTally * lay.Q * lay.R)
 	pr.Barrier()
+	mark := pr.Elapsed()
+	markStage(pr, "tally", mark)
 
 	// Step 2: rearrange so each grey level's tallies meet on one
 	// processor.
@@ -159,11 +174,14 @@ func runProc(pr *bdm.Proc, lay image.Layout, k int,
 			pr.Work(p)
 		}
 		pr.Barrier()
+		markStage(pr, "rearrange_combine", pr.Elapsed()-mark)
+		mark = pr.Elapsed()
 		// Step 4: collect the k single bars onto processor 0. Only
 		// the first k processors hold data; the circular collection
 		// reads one word from everyone and processor 0 keeps the
 		// first k.
 		comm.CollectToZero(pr, out, combined, 1)
+		markStage(pr, "collect", pr.Elapsed()-mark)
 		return
 	}
 
@@ -187,10 +205,13 @@ func runProc(pr *bdm.Proc, lay image.Layout, k int,
 	}
 	pr.Work(k)
 	pr.Barrier()
+	markStage(pr, "rearrange_combine", pr.Elapsed()-mark)
+	mark = pr.Elapsed()
 
 	// Step 4: processor 0 prefetches the combined bars with a circular
 	// data movement; bars arrive ordered by rank, i.e. by grey level.
 	comm.CollectToZero(pr, out, combined, b)
+	markStage(pr, "collect", pr.Elapsed()-mark)
 }
 
 func max(a, b int) int {

@@ -28,25 +28,27 @@ func (e *Engine) HistogramInto(im *image.Image, h []int64) error {
 	W := e.stripCount(n)
 
 	// Shard tally: each worker counts its strip into its own k buckets.
-	parallelDo(W, func(w int) {
-		shard := e.shards[w]
-		if cap(shard) < k {
-			shard = make([]int64, k)
-			e.shards[w] = shard
-		}
-		shard = shard[:k]
-		for i := range shard {
-			shard[i] = 0
-		}
-		e.errs[w] = nil
-		r0, r1 := stripBounds(w, W, n)
-		for _, v := range im.Pix[r0*n : r1*n] {
-			if int(v) >= k {
-				e.errs[w] = fmt.Errorf("par: grey level %d outside [0,%d)", v, k)
-				return
+	e.phase("tally", func() {
+		parallelDo(W, func(w int) {
+			shard := e.shards[w]
+			if cap(shard) < k {
+				shard = make([]int64, k)
+				e.shards[w] = shard
 			}
-			shard[v]++
-		}
+			shard = shard[:k]
+			for i := range shard {
+				shard[i] = 0
+			}
+			e.errs[w] = nil
+			r0, r1 := stripBounds(w, W, n)
+			for _, v := range im.Pix[r0*n : r1*n] {
+				if int(v) >= k {
+					e.errs[w] = fmt.Errorf("par: grey level %d outside [0,%d)", v, k)
+					return
+				}
+				shard[v]++
+			}
+		})
 	})
 	for w := 0; w < W; w++ {
 		if e.errs[w] != nil {
@@ -57,18 +59,20 @@ func (e *Engine) HistogramInto(im *image.Image, h []int64) error {
 	// Tree merge: in round s, shard i absorbs shard i+s for every i that
 	// is a multiple of 2s — log2(W) parallel rounds, the shared-memory
 	// analogue of the paper's transpose+combine rearrangement.
-	for stride := 1; stride < W; stride *= 2 {
-		step := 2 * stride
-		mergers := (W - stride + step - 1) / step
-		parallelDo(mergers, func(m int) {
-			lo := m * step
-			hi := lo + stride
-			dst, src := e.shards[lo][:k], e.shards[hi][:k]
-			for i := range dst {
-				dst[i] += src[i]
-			}
-		})
-	}
+	e.phase("tree_merge", func() {
+		for stride := 1; stride < W; stride *= 2 {
+			step := 2 * stride
+			mergers := (W - stride + step - 1) / step
+			parallelDo(mergers, func(m int) {
+				lo := m * step
+				hi := lo + stride
+				dst, src := e.shards[lo][:k], e.shards[hi][:k]
+				for i := range dst {
+					dst[i] += src[i]
+				}
+			})
+		}
+	})
 	copy(h, e.shards[0][:k])
 	return nil
 }

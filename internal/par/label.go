@@ -2,6 +2,7 @@ package par
 
 import (
 	"parimg/internal/image"
+	"parimg/internal/obs"
 	"parimg/internal/seq"
 )
 
@@ -39,13 +40,20 @@ func (e *Engine) bfsLabelInto(im *image.Image, conn image.Connectivity, mode seq
 	W := e.stripCount(n)
 
 	if W == 1 {
+		// Single strip: one sequential labeling is the whole job. The
+		// phase marks are nil-safe no-ops with metrics disabled, keeping
+		// the path allocation-free.
+		t0 := e.obs.StartPhase()
 		if clear {
 			for i := range out.Lab {
 				out.Lab[i] = 0
 			}
 		}
-		return e.labelers[0].LabelTile(im.Pix, n, n, conn, mode,
+		comps := e.labelers[0].LabelTile(im.Pix, n, n, conn, mode,
 			func(i, j int) uint32 { return uint32(i*n+j) + 1 }, out.Lab)
+		e.obs.EndPhase("strip_label", "", t0)
+		e.obs.Add(obs.CtrStripComponents, int64(comps))
+		return comps
 	}
 
 	// Phase 1 — strip initialization (Section 5.1 on a W x 1 grid): each
@@ -53,34 +61,45 @@ func (e *Engine) bfsLabelInto(im *image.Image, conn image.Connectivity, mode seq
 	// row-major BFS. Seed labels are the global row-major index + 1, so
 	// labels are globally unique with no coordination, and the strip's
 	// fragment of a component carries the fragment's minimum global index.
-	parallelDo(W, func(w int) {
-		r0, r1 := stripBounds(w, W, n)
-		lab := out.Lab[r0*n : r1*n]
-		if clear {
-			for i := range lab {
-				lab[i] = 0
+	e.phase("strip_label", func() {
+		parallelDo(W, func(w int) {
+			r0, r1 := stripBounds(w, W, n)
+			lab := out.Lab[r0*n : r1*n]
+			if clear {
+				for i := range lab {
+					lab[i] = 0
+				}
 			}
-		}
-		e.comps[w] = e.labelers[w].LabelTile(im.Pix[r0*n:r1*n], r1-r0, n, conn, mode,
-			func(i, j int) uint32 { return uint32((r0+i)*n+j) + 1 }, lab)
+			e.comps[w] = e.labelers[w].LabelTile(im.Pix[r0*n:r1*n], r1-r0, n, conn, mode,
+				func(i, j int) uint32 { return uint32((r0+i)*n+j) + 1 }, lab)
+		})
 	})
 
-	e.borderMerge(im, out, conn, mode, W)
+	e.phase("border_merge", func() {
+		e.borderMerge(im, out, conn, mode, W)
+	})
 
 	// Phase 3 — final update: every pixel's label is replaced by its
 	// set's root, the component's global minimum seed label. Interior
 	// components take the fast path (no parent, one atomic load).
-	parallelDo(W, func(w int) {
-		r0, r1 := stripBounds(w, W, n)
-		lab := out.Lab[r0*n : r1*n]
-		for i, l := range lab {
-			if l == 0 {
-				continue
+	e.phase("relabel", func() {
+		parallelDo(W, func(w int) {
+			r0, r1 := stripBounds(w, W, n)
+			lab := out.Lab[r0*n : r1*n]
+			var finds, relab int64
+			for i, l := range lab {
+				if l == 0 {
+					continue
+				}
+				finds++
+				if r := e.uf.find(l); r != l {
+					lab[i] = r
+					relab++
+				}
 			}
-			if r := e.uf.find(l); r != l {
-				lab[i] = r
-			}
-		}
+			e.finds[w] = finds
+			e.relab[w] = relab
+		})
 	})
 
 	return e.finish(W)
@@ -137,14 +156,33 @@ func (e *Engine) borderMerge(im *image.Image, out *image.Labels,
 
 // finish is Phase 4 plus the component count: restore the union-find's
 // all-zero ready state by clearing exactly the entries this run touched,
-// then tally strip components minus cross-border merges.
+// then tally strip components minus cross-border merges. With a recorder
+// installed it also aggregates the per-worker operation counts gathered by
+// the earlier phases.
 func (e *Engine) finish(W int) int {
-	parallelDo(W, func(w int) {
-		e.uf.clear(e.dirty[w])
+	e.phase("cleanup", func() {
+		parallelDo(W, func(w int) {
+			e.uf.clear(e.dirty[w])
+		})
 	})
 	total := 0
 	for w := 0; w < W; w++ {
 		total += e.comps[w] - e.links[w]
+	}
+	if e.obs != nil {
+		var comps, links, pairs, finds, relab int64
+		for w := 0; w < W; w++ {
+			comps += int64(e.comps[w])
+			links += int64(e.links[w])
+			pairs += int64(len(e.dirty[w]) / 2)
+			finds += e.finds[w]
+			relab += e.relab[w]
+		}
+		e.obs.Add(obs.CtrStripComponents, comps)
+		e.obs.Add(obs.CtrBorderLinks, links)
+		e.obs.Add(obs.CtrBorderPairs, pairs)
+		e.obs.Add(obs.CtrUFFinds, finds)
+		e.obs.Add(obs.CtrRelabeledPixels, relab)
 	}
 	return total
 }

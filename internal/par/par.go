@@ -32,11 +32,14 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"parimg/internal/image"
+	"parimg/internal/obs"
 	"parimg/internal/seq"
 )
 
@@ -57,6 +60,7 @@ const (
 	AlgoRuns
 )
 
+// String returns the algorithm's flag spelling: "auto", "bfs" or "runs".
 func (a Algo) String() string {
 	switch a {
 	case AlgoAuto:
@@ -98,6 +102,7 @@ func (a Algo) effective(mode seq.Mode) Algo {
 type Engine struct {
 	workers  int
 	algo     Algo
+	obs      *obs.Recorder    // metrics recorder; nil disables all accounting
 	labelers []seq.Labeler    // per-worker BFS scratch
 	runners  []seq.RunLabeler // per-worker run-engine scratch
 	bp       image.Bitplane   // shared bit-packed plane (strips filled per worker)
@@ -105,6 +110,8 @@ type Engine struct {
 	dirty    [][]uint32       // per-worker union-find entries to clear
 	comps    []int            // per-worker strip component counts
 	links    []int            // per-worker cross-border merge counts
+	finds    []int64          // per-worker union-find find calls (final update)
+	relab    []int64          // per-worker pixels rewritten in the final update
 	shards   [][]int64        // per-worker histogram tallies
 	errs     []error          // per-worker tally errors
 }
@@ -122,6 +129,8 @@ func NewEngine(workers int) *Engine {
 		dirty:    make([][]uint32, workers),
 		comps:    make([]int, workers),
 		links:    make([]int, workers),
+		finds:    make([]int64, workers),
+		relab:    make([]int64, workers),
 		shards:   make([][]int64, workers),
 		errs:     make([]error, workers),
 	}
@@ -136,6 +145,17 @@ func (e *Engine) SetAlgo(a Algo) { e.algo = a }
 // Algo returns the engine's configured (not mode-resolved) algorithm.
 func (e *Engine) Algo() Algo { return e.algo }
 
+// SetObserver installs (or, with nil, removes) the metrics recorder that
+// receives per-phase wall-clock times and operation counters from
+// subsequent Label/Histogram calls. With a recorder installed, worker
+// goroutines also carry a "parimg_phase" pprof label so CPU profiles can be
+// sliced by phase. With nil (the default) every accounting path is a no-op
+// and the engine's steady-state allocation guarantees are unchanged.
+func (e *Engine) SetObserver(r *obs.Recorder) { e.obs = r }
+
+// Observer returns the installed metrics recorder (nil when disabled).
+func (e *Engine) Observer() *obs.Recorder { return e.obs }
+
 // stripCount clips the worker count to at most one strip per image row.
 func (e *Engine) stripCount(n int) int {
 	if e.workers < n {
@@ -147,6 +167,22 @@ func (e *Engine) stripCount(n int) int {
 // stripBounds returns the half-open row range of strip w of W over n rows.
 func stripBounds(w, W, n int) (r0, r1 int) {
 	return w * n / W, (w + 1) * n / W
+}
+
+// phase runs fn as one named wall-clock phase. With no recorder installed
+// it is exactly fn() — no clock reads, no labels. With a recorder, the span
+// is timed into a top-level phase and fn runs under a "parimg_phase" pprof
+// label, which goroutines started inside fn (the phase's workers) inherit.
+func (e *Engine) phase(name string, fn func()) {
+	if e.obs == nil {
+		fn()
+		return
+	}
+	t0 := e.obs.StartPhase()
+	pprof.Do(context.Background(), pprof.Labels("parimg_phase", name), func(context.Context) {
+		fn()
+	})
+	e.obs.EndPhase(name, "", t0)
 }
 
 // parallelDo runs fn(0..w-1) on w goroutines and waits for all of them.
@@ -181,6 +217,20 @@ func LabelWith(algo Algo, im *image.Image, conn image.Connectivity, mode seq.Mod
 	e := enginePool.Get().(*Engine)
 	defer enginePool.Put(e)
 	e.SetAlgo(algo)
+	return e.Label(im, conn, mode)
+}
+
+// LabelObserved is LabelWith with a metrics recorder installed for the
+// duration of the call (the pooled engine's observer is removed before the
+// engine returns to the pool). Safe for concurrent use, but concurrent
+// callers sharing one recorder interleave their phase records.
+func LabelObserved(r *obs.Recorder, algo Algo, im *image.Image,
+	conn image.Connectivity, mode seq.Mode) *image.Labels {
+	e := enginePool.Get().(*Engine)
+	defer enginePool.Put(e)
+	e.SetAlgo(algo)
+	e.SetObserver(r)
+	defer e.SetObserver(nil)
 	return e.Label(im, conn, mode)
 }
 

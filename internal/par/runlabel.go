@@ -2,6 +2,7 @@ package par
 
 import (
 	"parimg/internal/image"
+	"parimg/internal/obs"
 	"parimg/internal/seq"
 )
 
@@ -28,42 +29,67 @@ func (e *Engine) runLabelInto(im *image.Image, conn image.Connectivity, mode seq
 
 	if W == 1 {
 		// Single strip: no borders to merge, and no parallelDo closure
-		// to allocate — the whole call is allocation-free at steady state.
+		// to allocate — the whole call is allocation-free at steady state
+		// (the phase marks are nil-safe no-ops with metrics disabled).
+		t0 := e.obs.StartPhase()
 		e.bp.SetRows(im, 0, n)
-		return e.runners[0].LabelStrip(&e.bp, 0, n, conn, clear, out.Lab)
+		comps := e.runners[0].LabelStrip(&e.bp, 0, n, conn, clear, out.Lab)
+		e.obs.EndPhase("strip_label", "", t0)
+		e.obs.Add(obs.CtrStripComponents, int64(comps))
+		e.obs.Add(obs.CtrRuns, int64(len(e.runners[0].Runs())/2))
+		return comps
 	}
 
 	// Phase 1 — each worker packs its strip's rows into the shared
 	// bitplane and run-labels them: extraction, vertical unites and the
 	// paint pass all happen strip-locally with global seed labels.
-	parallelDo(W, func(w int) {
-		r0, r1 := stripBounds(w, W, n)
-		e.bp.SetRows(im, r0, r1)
-		e.comps[w] = e.runners[w].LabelStrip(&e.bp, r0, r1-r0, conn, clear,
-			out.Lab[r0*n:r1*n])
+	e.phase("strip_label", func() {
+		parallelDo(W, func(w int) {
+			r0, r1 := stripBounds(w, W, n)
+			e.bp.SetRows(im, r0, r1)
+			e.comps[w] = e.runners[w].LabelStrip(&e.bp, r0, r1-r0, conn, clear,
+				out.Lab[r0*n:r1*n])
+		})
 	})
 
-	e.borderMerge(im, out, conn, mode, W)
+	e.phase("border_merge", func() {
+		e.borderMerge(im, out, conn, mode, W)
+	})
 
 	// Phase 3 — final update over runs: a run is uniformly labeled, so one
 	// find on its painted label and one span rewrite (only when the root
 	// moved) replace the BFS path's per-pixel sweep. Background costs
 	// nothing — it has no runs.
-	parallelDo(W, func(w int) {
-		r0, _ := stripBounds(w, W, n)
-		runs := e.runners[w].Runs()
-		rowOff := e.runners[w].RowOffsets()
-		for i := 0; i+1 < len(rowOff); i++ {
-			rowBase := (r0 + i) * n
-			for k := rowOff[i]; k < rowOff[i+1]; k += 2 {
-				s, end := runs[k], runs[k+1]
-				l := out.Lab[rowBase+int(s)]
-				if r := e.uf.find(l); r != l {
-					seq.Fill32(out.Lab[rowBase+int(s):rowBase+int(end)], r)
+	e.phase("relabel", func() {
+		parallelDo(W, func(w int) {
+			r0, _ := stripBounds(w, W, n)
+			runs := e.runners[w].Runs()
+			rowOff := e.runners[w].RowOffsets()
+			var finds, relab int64
+			for i := 0; i+1 < len(rowOff); i++ {
+				rowBase := (r0 + i) * n
+				for k := rowOff[i]; k < rowOff[i+1]; k += 2 {
+					s, end := runs[k], runs[k+1]
+					l := out.Lab[rowBase+int(s)]
+					finds++
+					if r := e.uf.find(l); r != l {
+						seq.Fill32(out.Lab[rowBase+int(s):rowBase+int(end)], r)
+						relab += int64(end - s)
+					}
 				}
 			}
-		}
+			e.finds[w] = finds
+			e.relab[w] = relab
+		})
 	})
 
-	return e.finish(W)
+	comps := e.finish(W)
+	if e.obs != nil {
+		var runs int64
+		for w := 0; w < W; w++ {
+			runs += int64(len(e.runners[w].Runs()) / 2)
+		}
+		e.obs.Add(obs.CtrRuns, runs)
+	}
+	return comps
 }

@@ -31,6 +31,7 @@ import (
 	"parimg/internal/hist"
 	"parimg/internal/image"
 	"parimg/internal/machine"
+	"parimg/internal/obs"
 	"parimg/internal/par"
 	"parimg/internal/recognize"
 	"parimg/internal/seq"
@@ -55,7 +56,29 @@ type (
 	Report = bdm.Report
 	// Algo selects the host-parallel strip labeling algorithm.
 	Algo = par.Algo
+	// Metrics is the observability document of one run: per-phase times,
+	// operation counters and modeled communication volume, serialized as
+	// the MetricsSchema JSON format by the commands' -metrics flag.
+	Metrics = obs.Metrics
+	// MetricsRecorder collects phase times and counters during a run; see
+	// NewMetricsRecorder. The nil recorder is valid and records nothing.
+	MetricsRecorder = obs.Recorder
+	// MetricsPhase is one recorded span of a Metrics document: wall-clock
+	// nanoseconds for host-parallel runs, modeled seconds for simulated ones.
+	MetricsPhase = obs.Phase
+	// CommStat is the modeled communication volume (latencies and words
+	// moved) one simulated run attributed to one primitive.
+	CommStat = obs.CommStat
 )
+
+// MetricsSchema is the identifier carried by every Metrics document.
+const MetricsSchema = obs.Schema
+
+// NewMetricsRecorder returns an empty, enabled metrics recorder. Install it
+// with Simulator.SetObserver or ParallelEngine.SetObserver (or pass it in
+// LabelOptions.Metrics), run, then call Snapshot for the Metrics document
+// and Reset to start the next run's epoch.
+func NewMetricsRecorder() *MetricsRecorder { return obs.NewRecorder() }
 
 // Connectivity and mode constants.
 const (
@@ -166,6 +189,14 @@ func NewSimulator(p int, spec MachineSpec) (*Simulator, error) {
 // P returns the number of simulated processors.
 func (s *Simulator) P() int { return s.p }
 
+// SetObserver installs (or, with nil, removes) the metrics recorder that
+// receives modeled phase times and per-primitive communication volumes from
+// subsequent runs on this simulator. Must not be called during a run.
+func (s *Simulator) SetObserver(r *MetricsRecorder) { s.m.SetObserver(r) }
+
+// Observer returns the installed metrics recorder (nil when disabled).
+func (s *Simulator) Observer() *MetricsRecorder { return s.m.Observer() }
+
 // HistogramResult is the outcome of a parallel histogramming run.
 type HistogramResult struct {
 	// H[i] is the number of pixels with grey level i.
@@ -248,6 +279,10 @@ type LabelOptions struct {
 	// backend (LabelParallel / ParallelEngine); the simulator ignores it.
 	// Default AlgoAuto: run-based for Binary, BFS for Grey.
 	Algo Algo
+	// Metrics, when non-nil, receives the run's phase times and operation
+	// counters. Honored by LabelParallel; Simulator.Label instead uses the
+	// recorder installed with Simulator.SetObserver.
+	Metrics *MetricsRecorder
 }
 
 // CCResult is the outcome of a parallel connected components run.
@@ -415,6 +450,9 @@ func LabelParallel(im *Image, opt LabelOptions) *Labels {
 	conn := opt.Conn
 	if conn == 0 {
 		conn = Conn8
+	}
+	if opt.Metrics != nil {
+		return par.LabelObserved(opt.Metrics, opt.Algo, im, conn, opt.Mode)
 	}
 	return par.LabelWith(opt.Algo, im, conn, opt.Mode)
 }
