@@ -32,9 +32,13 @@ bench-short:
 bench-json:
 	$(GO) run ./cmd/benchjson
 
-# Quick fuzz pass of the run engine against the sequential BFS reference.
+# Quick fuzz pass: the run engine against the sequential BFS reference,
+# the PGM parser on arbitrary bytes, and the whole public API on
+# arbitrary parameters (error-or-correct-result, never a panic).
 fuzz-short:
 	$(GO) test -fuzz FuzzRunLabelMatchesBFS -fuzztime 30s ./internal/par/
+	$(GO) test -run '^$$' -fuzz FuzzReadPGM -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzPublicAPI -fuzztime 30s .
 
 # Regenerate the committed experiment artifacts: the captured
 # cmd/experiments output and the phasereport tables in EXPERIMENTS.md

@@ -10,6 +10,10 @@
 //	imgcc -darpa -grey -machine sp2 -p 64
 //	imgcc -random 0.593 -n 1024 -conn 4
 //	imgcc -pattern dual-spiral -n 1024 -backend par
+//
+// Every failure — a malformed flag, an unreadable or hostile PGM file, an
+// invalid geometry — exits with code 1 and a one-line "imgcc: ..." message
+// on stderr, never a panic trace.
 package main
 
 import (
@@ -24,7 +28,9 @@ import (
 	"parimg/internal/cli"
 )
 
-func main() {
+func main() { os.Exit(cli.Run("imgcc", run)) }
+
+func run() error {
 	var (
 		patternName = cli.PatternFlag(flag.CommandLine)
 		random      = cli.RandomFlag(flag.CommandLine)
@@ -50,14 +56,12 @@ func main() {
 
 	algo, err := parimg.ParseAlgo(*algoName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
 	im, err := loadImage(*patternName, *random, *darpa, *inFile, *n, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	opt0 := parimg.LabelOptions{
 		Conn:               parimg.Connectivity(*conn),
@@ -72,32 +76,23 @@ func main() {
 	case "sim":
 		// fall through to the simulator below
 	case "par", "seq":
-		if *conn != 4 && *conn != 8 {
-			fmt.Fprintf(os.Stderr, "imgcc: invalid connectivity %d (want 4 or 8)\n", *conn)
-			os.Exit(1)
-		}
 		opt0.Algo = algo
-		runHost(*backend, im, opt0, *workers, *top,
+		return runHost(*backend, im, opt0, *workers, *top,
 			*metricsPath, cli.ImageName(*patternName, *darpa, *inFile))
-		return
 	default:
-		fmt.Fprintf(os.Stderr, "imgcc: unknown backend %q (want sim, par or seq)\n", *backend)
-		os.Exit(1)
+		return fmt.Errorf("unknown backend %q (want sim, par or seq)", *backend)
 	}
 	spec, err := parimg.MachineByName(*machineName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	sim, err := parimg.NewSimulator(*p, spec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	opt := opt0
 	if *compare {
-		compareAlgorithms(sim, im, opt, spec.Name, *p)
-		return
+		return compareAlgorithms(sim, im, opt, spec.Name, *p)
 	}
 	rec := parimg.NewMetricsRecorder()
 	if *metricsPath != "" {
@@ -105,8 +100,7 @@ func main() {
 	}
 	res, err := sim.Label(im, opt)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	if *metricsPath != "" {
 		m := rec.Snapshot()
@@ -118,8 +112,7 @@ func main() {
 		m.CommTimeS = res.Report.CommTime
 		m.TotalNS = res.Report.Wall.Nanoseconds()
 		if err := cli.WriteMetrics(*metricsPath, m); err != nil {
-			fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
@@ -132,6 +125,7 @@ func main() {
 		r.SimTime, r.CompTime, r.CommTime)
 	fmt.Printf("work per pixel %.4g us, %d words moved, host wall time %v\n",
 		r.WorkPerPixel(im.N*im.N)*1e6, r.Words, r.Wall)
+	return nil
 }
 
 // runHost labels on the host itself — the parallel engine or the
@@ -140,7 +134,7 @@ func main() {
 // timed region, so the wall time (and metrics TotalNS) covers exactly the
 // labeling work the recorded phases decompose.
 func runHost(backend string, im *parimg.Image, opt parimg.LabelOptions,
-	workers, top int, metricsPath, imageName string) {
+	workers, top int, metricsPath, imageName string) error {
 	labels := parimg.NewLabels(im.N)
 	rec := parimg.NewMetricsRecorder()
 	var elapsed time.Duration
@@ -152,15 +146,22 @@ func runHost(backend string, im *parimg.Image, opt parimg.LabelOptions,
 			eng.SetObserver(rec)
 		}
 		start := time.Now()
-		eng.LabelInto(im, connOf(opt), opt.Mode, labels)
+		_, err := eng.LabelIntoErr(im, connOf(opt), opt.Mode, labels)
 		elapsed = time.Since(start)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("host-parallel, workers=%d (GOMAXPROCS=%d), algo=%v, %dx%d image, %v, %v mode\n",
 			workers, runtime.GOMAXPROCS(0), opt.Algo, im.N, im.N, connOf(opt), opt.Mode)
 		fmt.Printf("%d connected components, wall time %v\n", labels.Components(), elapsed)
 	} else {
 		start := time.Now()
-		labels = parimg.LabelSequential(im, connOf(opt), opt.Mode)
+		var err error
+		labels, err = parimg.LabelSequentialErr(im, connOf(opt), opt.Mode)
 		elapsed = time.Since(start)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("sequential baseline, %dx%d image, %v, %v mode\n", im.N, im.N, connOf(opt), opt.Mode)
 		fmt.Printf("%d connected components, wall time %v\n", labels.Components(), elapsed)
 	}
@@ -174,10 +175,10 @@ func runHost(backend string, im *parimg.Image, opt parimg.LabelOptions,
 		m.Image, m.N = imageName, im.N
 		m.TotalNS = elapsed.Nanoseconds()
 		if err := cli.WriteMetrics(metricsPath, m); err != nil {
-			fmt.Fprintf(os.Stderr, "imgcc: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return nil
 }
 
 func connOf(opt parimg.LabelOptions) parimg.Connectivity {
@@ -218,7 +219,7 @@ func printTop(labels *parimg.Labels, top int) {
 // compareAlgorithms runs the paper's merge algorithm and the two baselines
 // (label diffusion and pointer jumping) on the same input, verifies they
 // agree, and prints a comparison table.
-func compareAlgorithms(sim *parimg.Simulator, im *parimg.Image, opt parimg.LabelOptions, machineName string, p int) {
+func compareAlgorithms(sim *parimg.Simulator, im *parimg.Image, opt parimg.LabelOptions, machineName string, p int) error {
 	type row struct {
 		name string
 		run  func() (*parimg.CCResult, error)
@@ -235,16 +236,14 @@ func compareAlgorithms(sim *parimg.Simulator, im *parimg.Image, opt parimg.Label
 	for _, r := range rows {
 		res, err := r.run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "imgcc: %s: %v\n", r.name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", r.name, err)
 		}
 		if first == nil {
 			first = res
 		} else {
 			for i := range first.Labels.Lab {
 				if first.Labels.Lab[i] != res.Labels.Lab[i] {
-					fmt.Fprintf(os.Stderr, "imgcc: %s disagrees with the merge algorithm at pixel %d\n", r.name, i)
-					os.Exit(1)
+					return fmt.Errorf("%s disagrees with the merge algorithm at pixel %d", r.name, i)
 				}
 			}
 		}
@@ -252,6 +251,7 @@ func compareAlgorithms(sim *parimg.Simulator, im *parimg.Image, opt parimg.Label
 			r.name, res.Report.SimTime, res.MergePhases, res.Report.Words, res.Components)
 	}
 	fmt.Println("\nall three algorithms produced identical labelings")
+	return nil
 }
 
 func loadImage(pattern string, density float64, darpa bool, inFile string, n int, seed uint64) (*parimg.Image, error) {
@@ -268,13 +268,13 @@ func loadImage(pattern string, density float64, darpa bool, inFile string, n int
 	case pattern != "":
 		for _, id := range parimg.AllPatterns() {
 			if id.String() == pattern {
-				return parimg.GeneratePattern(id, n), nil
+				return parimg.GeneratePatternErr(id, n)
 			}
 		}
 		return nil, fmt.Errorf("unknown pattern %q (try dual-spiral, filled-disc, cross, ...)", pattern)
 	case density >= 0:
-		return parimg.RandomBinary(n, density, seed), nil
+		return parimg.RandomBinaryErr(n, density, seed)
 	default:
-		return parimg.RandomBinary(n, 0.5, seed), nil
+		return parimg.RandomBinaryErr(n, 0.5, seed)
 	}
 }

@@ -11,6 +11,10 @@
 //	imghist -darpa -k 256 -machine sp2 -p 64
 //	imghist -in scene.pgm -k 256
 //	imghist -darpa -k 256 -backend par
+//
+// Every failure — a malformed flag, an unreadable or hostile PGM file, a
+// grey level outside [0, k) — exits with code 1 and a one-line
+// "imghist: ..." message on stderr, never a panic trace.
 package main
 
 import (
@@ -24,7 +28,9 @@ import (
 	"parimg/internal/cli"
 )
 
-func main() {
+func main() { os.Exit(cli.Run("imghist", run)) }
+
+func run() error {
 	var (
 		patternName = cli.PatternFlag(flag.CommandLine)
 		random      = cli.RandomFlag(flag.CommandLine)
@@ -45,29 +51,24 @@ func main() {
 
 	im, err := loadImage(*patternName, *random, *randomGrey, *darpa, *inFile, *n, *k, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	imageName := cli.ImageName(*patternName, *darpa, *inFile)
 	switch *backend {
 	case "sim":
 		// fall through to the simulator below
 	case "par", "seq":
-		runHost(*backend, im, *k, *workers, *quiet, *metricsPath, imageName)
-		return
+		return runHost(*backend, im, *k, *workers, *quiet, *metricsPath, imageName)
 	default:
-		fmt.Fprintf(os.Stderr, "imghist: unknown backend %q (want sim, par or seq)\n", *backend)
-		os.Exit(1)
+		return fmt.Errorf("unknown backend %q (want sim, par or seq)", *backend)
 	}
 	spec, err := parimg.MachineByName(*machineName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	sim, err := parimg.NewSimulator(*p, spec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	rec := parimg.NewMetricsRecorder()
 	if *metricsPath != "" {
@@ -75,8 +76,7 @@ func main() {
 	}
 	res, err := sim.Histogram(im, *k)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	if *metricsPath != "" {
 		m := rec.Snapshot()
@@ -87,8 +87,7 @@ func main() {
 		m.CommTimeS = res.Report.CommTime
 		m.TotalNS = res.Report.Wall.Nanoseconds()
 		if err := cli.WriteMetrics(*metricsPath, m); err != nil {
-			fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
@@ -105,13 +104,14 @@ func main() {
 		r.SimTime, r.CompTime, r.CommTime)
 	fmt.Printf("work per pixel %.4g ns, %d words moved, host wall time %v\n",
 		r.WorkPerPixel(im.N*im.N)*1e9, r.Words, r.Wall)
+	return nil
 }
 
 // runHost histograms on the host itself — the parallel engine or the
 // sequential baseline — and reports real wall-clock time instead of the
 // simulator's modeled costs.
 func runHost(backend string, im *parimg.Image, k, workers int, quiet bool,
-	metricsPath, imageName string) {
+	metricsPath, imageName string) error {
 	var (
 		h   []int64
 		err error
@@ -130,8 +130,7 @@ func runHost(backend string, im *parimg.Image, k, workers int, quiet bool,
 	}
 	elapsed := time.Since(start)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	if !quiet {
 		for g, c := range h {
@@ -156,10 +155,10 @@ func runHost(backend string, im *parimg.Image, k, workers int, quiet bool,
 		m.Image, m.N, m.K = imageName, im.N, k
 		m.TotalNS = elapsed.Nanoseconds()
 		if err := cli.WriteMetrics(metricsPath, m); err != nil {
-			fmt.Fprintf(os.Stderr, "imghist: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return nil
 }
 
 func loadImage(pattern string, density float64, grey, darpa bool, inFile string, n, k int, seed uint64) (*parimg.Image, error) {
@@ -176,15 +175,15 @@ func loadImage(pattern string, density float64, grey, darpa bool, inFile string,
 	case pattern != "":
 		for _, id := range parimg.AllPatterns() {
 			if id.String() == pattern {
-				return parimg.GeneratePattern(id, n), nil
+				return parimg.GeneratePatternErr(id, n)
 			}
 		}
 		return nil, fmt.Errorf("unknown pattern %q (try dual-spiral, filled-disc, cross, ...)", pattern)
 	case density >= 0:
-		return parimg.RandomBinary(n, density, seed), nil
+		return parimg.RandomBinaryErr(n, density, seed)
 	case grey:
-		return parimg.RandomGrey(n, k, seed), nil
+		return parimg.RandomGreyErr(n, k, seed)
 	default:
-		return parimg.RandomGrey(n, k, seed), nil
+		return parimg.RandomGreyErr(n, k, seed)
 	}
 }

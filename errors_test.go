@@ -1,0 +1,154 @@
+package parimg
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestErrorTaxonomy drives every public validation path with hostile input
+// and asserts the returned error matches the advertised sentinel under
+// errors.Is (and always the ErrBadInput root).
+func TestErrorTaxonomy(t *testing.T) {
+	newSim := func(p int) func() error {
+		return func() error { _, err := NewSimulator(p, CM5); return err }
+	}
+	oversized := &Image{N: MaxSide + 1} // nil Pix: validation must fire first
+	cases := []struct {
+		name string
+		fn   func() error
+		kind error
+	}{
+		{"p zero", newSim(0), ErrGeometry},
+		{"p negative", newSim(-8), ErrGeometry},
+		{"p not power of two", newSim(12), ErrGeometry},
+		{"image side zero", func() error { _, err := NewImageErr(0); return err }, ErrGeometry},
+		{"image side negative", func() error { _, err := NewImageErr(-4); return err }, ErrGeometry},
+		{"image side overflow", func() error { _, err := NewImageErr(MaxSide + 1); return err }, ErrLabelOverflow},
+		{"pattern unknown", func() error { _, err := GeneratePatternErr(PatternID(42), 64); return err }, ErrBadInput},
+		{"random density over 1", func() error { _, err := RandomBinaryErr(64, 1.01, 1); return err }, ErrBadInput},
+		{"random grey k under 2", func() error { _, err := RandomGreyErr(64, 1, 1); return err }, ErrGreyRange},
+		{"sequential hist k zero", func() error { _, err := HistogramSequential(GenCrossImage(32), 0); return err }, ErrGreyRange},
+		{"sequential hist grey over k", func() error { _, err := HistogramSequential(RandomGrey(32, 16, 1), 4); return err }, ErrGreyRange},
+		{"parallel hist k zero", func() error { _, err := HistogramParallel(GenCrossImage(32), 0); return err }, ErrGreyRange},
+		{"parallel hist nil image", func() error { _, err := HistogramParallel(nil, 8); return err }, ErrBadInput},
+		{"non-square PGM", func() error { _, err := ReadPGM(strings.NewReader("P5\n2 3\n255\n......")); return err }, ErrGeometry},
+		{"zero-side PGM", func() error { _, err := ReadPGM(strings.NewReader("P5\n0 0\n255\n")); return err }, ErrGeometry},
+		{"truncated PGM", func() error { _, err := ReadPGM(strings.NewReader("P5\n4 4\n255\nxy")); return err }, ErrBadInput},
+		{"oversized PGM header", func() error { _, err := ReadPGM(strings.NewReader("P5\n999999 999999\n255\n")); return err }, ErrLabelOverflow},
+		{"census mismatched sides", func() error { _, err := CensusErr(NewLabels(8), GenCrossImage(16)); return err }, ErrGeometry},
+		{"threshold malformed image", func() error { _, err := ThresholdErr(&Image{N: 4, Pix: nil}, 1); return err }, ErrGeometry},
+		{"seq oversized image", func() error { _, err := LabelSequentialErr(oversized, Conn8, Binary); return err }, ErrLabelOverflow},
+		{"par oversized image", func() error { _, err := LabelParallelErr(oversized, LabelOptions{}); return err }, ErrLabelOverflow},
+		{"par bad connectivity", func() error {
+			_, err := LabelParallelErr(GenCrossImage(16), LabelOptions{Conn: Connectivity(5)})
+			return err
+		}, ErrBadInput},
+		{"par bad mode", func() error { _, err := LabelParallelErr(GenCrossImage(16), LabelOptions{Mode: Mode(7)}); return err }, ErrBadInput},
+	}
+	cases = append(cases, simCases(t, oversized)...)
+	for _, c := range cases {
+		err := c.fn()
+		if err == nil {
+			t.Errorf("%s: want error, got nil", c.name)
+			continue
+		}
+		if !errors.Is(err, c.kind) {
+			t.Errorf("%s: error %q is not %v", c.name, err, c.kind)
+		}
+		if !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s: error %q is outside the taxonomy (not ErrBadInput)", c.name, err)
+		}
+	}
+}
+
+// simCases are the taxonomy cases that need a live simulator.
+func simCases(t *testing.T, oversized *Image) []struct {
+	name string
+	fn   func() error
+	kind error
+} {
+	t.Helper()
+	sim, err := NewSimulator(4, Ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name string
+		fn   func() error
+		kind error
+	}{
+		{"sim oversized image", func() error { _, err := sim.Label(oversized, LabelOptions{}); return err }, ErrLabelOverflow},
+		{"sim bad connectivity", func() error { _, err := sim.Label(GenCrossImage(16), LabelOptions{Conn: Connectivity(5)}); return err }, ErrBadInput},
+		{"sim hist k not power of two", func() error { _, err := sim.Histogram(GenCrossImage(16), 3); return err }, ErrGreyRange},
+		{"sim hist grey over k", func() error { _, err := sim.Histogram(RandomGrey(16, 16, 1), 4); return err }, ErrGreyRange},
+		{"sim equalize bad k", func() error { _, err := sim.Equalize(GenCrossImage(16), 0); return err }, ErrGreyRange},
+		{"sim census mismatch", func() error { _, err := sim.Census(GenCrossImage(16), NewLabels(8)); return err }, ErrGeometry},
+	}
+}
+
+// GenCrossImage is a tiny helper for the error tables: a valid cross
+// pattern at side n.
+func GenCrossImage(n int) *Image { return GeneratePattern(Cross, n) }
+
+// TestInputErrorContext asserts the concrete *InputError is retrievable
+// with errors.As and carries the offending parameters.
+func TestInputErrorContext(t *testing.T) {
+	_, err := NewSimulator(12, CM5)
+	var ie *InputError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error %v does not unwrap to *InputError", err)
+	}
+	if ie.P != 12 {
+		t.Errorf("InputError.P = %d, want 12", ie.P)
+	}
+	_, err = LabelParallelErr(&Image{N: MaxSide + 1}, LabelOptions{})
+	if !errors.As(err, &ie) {
+		t.Fatalf("error %v does not unwrap to *InputError", err)
+	}
+	if ie.N != MaxSide+1 {
+		t.Errorf("InputError.N = %d, want %d", ie.N, MaxSide+1)
+	}
+}
+
+// TestCommentPGMAccepted pins the '#'-comment fix at the public boundary.
+func TestCommentPGMAccepted(t *testing.T) {
+	data := "P5\n# made by hand\n2 2\n255\n" + string([]byte{1, 2, 3, 4})
+	im, err := ReadPGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.N != 2 || im.Pix[3] != 4 {
+		t.Errorf("parsed %v", im)
+	}
+}
+
+// TestValidInputsStillExact pins the non-regression half of the contract:
+// after all the validation work, valid inputs still produce results that
+// are pixel-identical across backends.
+func TestValidInputsStillExact(t *testing.T) {
+	im := GeneratePattern(DualSpiral, 64)
+	want := LabelSequential(im, Conn8, Binary)
+	got, err := LabelParallelErr(im, LabelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Lab {
+		if got.Lab[i] != want.Lab[i] {
+			t.Fatalf("par pixel %d: %d, want %d", i, got.Lab[i], want.Lab[i])
+		}
+	}
+	sim, err := NewSimulator(4, Ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Label(im, LabelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Lab {
+		if res.Labels.Lab[i] != want.Lab[i] {
+			t.Fatalf("sim pixel %d: %d, want %d", i, res.Labels.Lab[i], want.Lab[i])
+		}
+	}
+}

@@ -22,6 +22,7 @@ type Spread[T any] struct {
 // one contiguous allocation.
 func NewSpread[T any](m *Machine, perProc int) *Spread[T] {
 	if perProc < 0 {
+		// Invariant panic: spread sizes derive from validated layouts.
 		panic(fmt.Sprintf("bdm: negative spread size %d", perProc))
 	}
 	flat := make([]T, m.p*perProc)

@@ -40,6 +40,7 @@ import (
 	"sync"
 
 	"parimg/internal/bdm"
+	"parimg/internal/errs"
 	"parimg/internal/image"
 	"parimg/internal/seq"
 )
@@ -92,10 +93,10 @@ func (o *Options) normalize() error {
 		o.Conn = image.Conn8
 	}
 	if !o.Conn.Valid() {
-		return fmt.Errorf("cc: invalid connectivity %d", int(o.Conn))
+		return errs.Bad("cc", "invalid connectivity %d (want 4 or 8)", int(o.Conn))
 	}
 	if o.Mode != seq.Binary && o.Mode != seq.Grey {
-		return fmt.Errorf("cc: invalid mode %d", int(o.Mode))
+		return errs.Bad("cc", "invalid mode %d", int(o.Mode))
 	}
 	return nil
 }
@@ -176,16 +177,16 @@ func (e *Engine) Run(im *image.Image, opt Options) (*Result, error) {
 	if err := opt.normalize(); err != nil {
 		return nil, err
 	}
+	// Image.Check enforces the structural invariants, including the
+	// n <= MaxSide label-space bound: labels are 32-bit (initial label =
+	// global index + 1), so the image must have fewer than 2^32 pixels.
+	if err := im.Check(); err != nil {
+		return nil, fmt.Errorf("cc: %w", err)
+	}
 	m := e.m
 	lay, err := image.NewLayout(im.N, m.P())
 	if err != nil {
 		return nil, fmt.Errorf("cc: %w", err)
-	}
-	// Labels are 32-bit (initial label = global index + 1), so the image
-	// must have fewer than 2^32 pixels. Unreachable with in-memory
-	// images today, but guard the invariant explicitly.
-	if im.N > 65535 {
-		return nil, fmt.Errorf("cc: image side %d exceeds the 32-bit label space", im.N)
 	}
 
 	pool := e.pools[im.N]

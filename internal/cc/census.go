@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"parimg/internal/bdm"
+	"parimg/internal/errs"
 	"parimg/internal/image"
 )
 
@@ -65,8 +66,15 @@ const censusRecWords = 10
 // Complexities: Tcomp = O(n^2/p + C log C) where C is the total number of
 // (tile, component) partials, and Tcomm <= tau + O(C) words to processor 0.
 func Census(m *bdm.Machine, im *image.Image, labels *image.Labels) (*CensusResult, error) {
+	if err := im.Check(); err != nil {
+		return nil, fmt.Errorf("cc: %w", err)
+	}
+	if err := labels.Check(); err != nil {
+		return nil, fmt.Errorf("cc: %w", err)
+	}
 	if im.N != labels.N {
-		return nil, fmt.Errorf("cc: census size mismatch: image %d, labels %d", im.N, labels.N)
+		return nil, errs.Geometry("cc.Census", im.N, m.P(),
+			"census size mismatch: image %d, labels %d", im.N, labels.N)
 	}
 	lay, err := image.NewLayout(im.N, m.P())
 	if err != nil {

@@ -72,6 +72,8 @@ func log2(x int) int {
 		d++
 	}
 	if 1<<d != x {
+		// Invariant panic: processor-grid dimensions come from
+		// image.NewLayout, which only produces power-of-two factors.
 		panic(fmt.Sprintf("cc: %d is not a power of two", x))
 	}
 	return d

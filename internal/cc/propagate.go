@@ -1,6 +1,8 @@
 package cc
 
 import (
+	"fmt"
+
 	"parimg/internal/bdm"
 	"parimg/internal/image"
 	"parimg/internal/seq"
@@ -26,6 +28,9 @@ import (
 func RunPropagation(m *bdm.Machine, im *image.Image, opt Options) (*Result, error) {
 	if err := opt.normalize(); err != nil {
 		return nil, err
+	}
+	if err := im.Check(); err != nil {
+		return nil, fmt.Errorf("cc: %w", err)
 	}
 	lay, err := image.NewLayout(im.N, m.P())
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"parimg/internal/bdm"
+	"parimg/internal/errs"
 	"parimg/internal/image"
 )
 
@@ -36,13 +37,17 @@ func RunShiloachVishkin(m *bdm.Machine, im *image.Image, opt Options) (*Result, 
 	if err := opt.normalize(); err != nil {
 		return nil, err
 	}
+	if err := im.Check(); err != nil {
+		return nil, fmt.Errorf("cc: %w", err)
+	}
 	// Row strips need p | n for even distribution; reuse the layout
 	// validation for the power-of-two requirement.
 	if _, err := image.NewLayout(im.N, m.P()); err != nil {
 		return nil, err
 	}
 	if m.P() > im.N || im.N%m.P() != 0 {
-		return nil, errTooManyProcs(m.P(), im.N)
+		return nil, errs.Geometry("cc.RunShiloachVishkin", im.N, m.P(),
+			"Shiloach-Vishkin row strips require p to divide n, got p=%d n=%d", m.P(), im.N)
 	}
 
 	st := newSVState(m, im, opt)
@@ -63,14 +68,6 @@ func RunShiloachVishkin(m *bdm.Machine, im *image.Image, opt Options) (*Result, 
 		Phases:     st.iterations,
 	}, nil
 }
-
-type tooManyProcsError struct{ p, n int }
-
-func (e tooManyProcsError) Error() string {
-	return fmt.Sprintf("cc: Shiloach-Vishkin row strips require p to divide n, got p=%d n=%d", e.p, e.n)
-}
-
-func errTooManyProcs(p, n int) error { return tooManyProcsError{p: p, n: n} }
 
 // svState carries the distributed parent array and per-processor adjacency.
 type svState struct {

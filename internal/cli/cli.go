@@ -9,10 +9,40 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"runtime"
 
 	"parimg/internal/obs"
 )
+
+// Run executes a command body under the commands' failure contract: a
+// returned error prints as a single "name: error" line on stderr and yields
+// exit code 1; a panic escaping fn is recovered into the same one-line form
+// (no goroutine stack trace reaches the user) and also yields 1; success
+// yields 0. Command mains are expected to be exactly
+//
+//	func main() { os.Exit(cli.Run("imgcc", run)) }
+//
+// so every failure mode, including bugs, exits identically.
+func Run(name string, fn func() error) int {
+	return runTo(os.Stderr, name, fn)
+}
+
+// runTo is Run writing to an explicit stderr, for tests.
+func runTo(stderr io.Writer, name string, fn func() error) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "%s: internal error: %v\n", name, r)
+			code = 1
+		}
+	}()
+	if err := fn(); err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", name, err)
+		return 1
+	}
+	return 0
+}
 
 // Shared usage strings. Commands must not restate these inline.
 const (

@@ -14,6 +14,7 @@ import (
 func Scatter(p *bdm.Proc, out, in *bdm.Spread[uint32], m, root int) {
 	np := p.P()
 	if m < 0 || np*m > in.PerProc() || m > out.PerProc() {
+		// Invariant panic: sizes are fixed by the calling algorithm.
 		panic(fmt.Sprintf("comm: Scatter m=%d out of range", m))
 	}
 	defer label(p, "scatter")()
@@ -30,6 +31,7 @@ func Scatter(p *bdm.Proc, out, in *bdm.Spread[uint32], m, root int) {
 func Gather(p *bdm.Proc, out, in *bdm.Spread[uint32], m, root int) {
 	np := p.P()
 	if m < 0 || m > in.PerProc() || np*m > out.PerProc() {
+		// Invariant panic: sizes are fixed by the calling algorithm.
 		panic(fmt.Sprintf("comm: Gather m=%d out of range", m))
 	}
 	defer label(p, "gather")()
@@ -53,6 +55,7 @@ func Gather(p *bdm.Proc, out, in *bdm.Spread[uint32], m, root int) {
 func AllToAll(p *bdm.Proc, out, in *bdm.Spread[uint32], m int) {
 	np := p.P()
 	if m < 0 || np*m > in.PerProc() || np*m > out.PerProc() {
+		// Invariant panic: sizes are fixed by the calling algorithm.
 		panic(fmt.Sprintf("comm: AllToAll m=%d out of range", m))
 	}
 	defer label(p, "alltoall")()
@@ -76,6 +79,7 @@ func AllToAll(p *bdm.Proc, out, in *bdm.Spread[uint32], m int) {
 func PrefixSums(p *bdm.Proc, out, scratch, in *bdm.Spread[uint32], m int) {
 	np := p.P()
 	if m < 0 || m > in.PerProc() || np*m > scratch.PerProc() || m > out.PerProc() {
+		// Invariant panic: sizes are fixed by the calling algorithm.
 		panic(fmt.Sprintf("comm: PrefixSums m=%d out of range", m))
 	}
 	defer label(p, "prefix_sums")()

@@ -6,6 +6,11 @@
 // All functions are SPMD: every processor of the machine must call them
 // collectively with identical size arguments. They leave the machine at a
 // barrier, so callers may immediately read the results.
+//
+// Size arguments are internal invariants established by the algorithm
+// packages (cc, hist) before entering the SPMD region, so violations panic
+// rather than return errors; bdm.Machine.Run recovers any such panic into
+// an error wrapping bdm.ErrAborted.
 package comm
 
 import (
@@ -36,6 +41,7 @@ func label(p *bdm.Proc, name string) func() {
 func Transpose(p *bdm.Proc, out, in *bdm.Spread[uint32], q int) {
 	np := p.P()
 	if q <= 0 || q%np != 0 {
+		// Invariant panic: sizes are fixed by the calling algorithm.
 		panic(fmt.Sprintf("comm: Transpose requires p | q, got q=%d p=%d", q, np))
 	}
 	defer label(p, "transpose")()
@@ -63,9 +69,11 @@ func Transpose(p *bdm.Proc, out, in *bdm.Spread[uint32], q int) {
 func Broadcast(p *bdm.Proc, buf, scratch *bdm.Spread[uint32], q, root int) {
 	np := p.P()
 	if q <= 0 || q%np != 0 {
+		// Invariant panic: sizes are fixed by the calling algorithm.
 		panic(fmt.Sprintf("comm: Broadcast requires p | q, got q=%d p=%d", q, np))
 	}
 	if root < 0 || root >= np {
+		// Invariant panic: callers pass a valid rank.
 		panic(fmt.Sprintf("comm: Broadcast root %d out of range", root))
 	}
 	defer label(p, "broadcast")()
@@ -99,9 +107,11 @@ func Broadcast(p *bdm.Proc, buf, scratch *bdm.Spread[uint32], q, root int) {
 func BroadcastNaive(p *bdm.Proc, buf *bdm.Spread[uint32], q, root int) {
 	np := p.P()
 	if q <= 0 || q > buf.PerProc() {
+		// Invariant panic: sizes are fixed by the calling algorithm.
 		panic(fmt.Sprintf("comm: BroadcastNaive q=%d out of range", q))
 	}
 	if root < 0 || root >= np {
+		// Invariant panic: callers pass a valid rank.
 		panic(fmt.Sprintf("comm: BroadcastNaive root %d out of range", root))
 	}
 	defer label(p, "broadcast_naive")()
@@ -123,6 +133,7 @@ func BroadcastNaive(p *bdm.Proc, buf *bdm.Spread[uint32], q, root int) {
 func TruncatedTranspose(p *bdm.Proc, out, in *bdm.Spread[uint32], k int) {
 	np := p.P()
 	if k <= 0 || k > np {
+		// Invariant panic: hist only truncates when k < p.
 		panic(fmt.Sprintf("comm: TruncatedTranspose requires 0 < k <= p, got k=%d p=%d", k, np))
 	}
 	defer label(p, "truncated_transpose")()
@@ -146,6 +157,7 @@ func TruncatedTranspose(p *bdm.Proc, out, in *bdm.Spread[uint32], k int) {
 func CollectToZero(p *bdm.Proc, out, in *bdm.Spread[uint32], m int) {
 	np := p.P()
 	if m < 0 || m > in.PerProc() {
+		// Invariant panic: sizes are fixed by the calling algorithm.
 		panic(fmt.Sprintf("comm: CollectToZero m=%d out of range", m))
 	}
 	defer label(p, "collect")()

@@ -1,0 +1,129 @@
+// Package errs is the typed error taxonomy of the repository's public
+// boundary. Every validation failure that a caller can provoke with bad
+// input — a malformed image, an impossible processor count, an out-of-range
+// grey level, an image too large for the 32-bit label space — is reported
+// as an *InputError carrying one of the sentinel kinds below, so callers
+// can dispatch with errors.Is on either the specific kind or the ErrBadInput
+// root without parsing message strings.
+//
+// The contract, repo-wide: invalid *caller input* returns an error; a
+// violated *internal invariant* (a precondition already validated by the
+// layer above) panics, and every such panic site carries an
+// "Invariant panic:" comment. The bdm runtime additionally converts any
+// panic escaping an SPMD processor body into an error wrapping
+// bdm.ErrAborted, so no panic crosses the public API even if an invariant
+// is wrong.
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// MaxSide is the largest supported image side. Initial labels are the
+// pixel's global row-major index plus one, stored in a uint32: the last
+// pixel of an n x n image gets label n*n - 1 + 1 = n^2, so n^2 must fit in
+// a uint32. 65535^2 = 4294836225 < 2^32, while 65536^2 = 2^32 wraps to 0 —
+// hence n <= 65535.
+const MaxSide = 65535
+
+// Taxonomy sentinels. Every *InputError wraps ErrBadInput plus at most one
+// of the more specific kinds, so errors.Is(err, ErrBadInput) matches any
+// input-validation failure.
+var (
+	// ErrBadInput is the root of the taxonomy: some caller-supplied input
+	// was invalid. All other sentinels imply it.
+	ErrBadInput = errors.New("bad input")
+	// ErrGeometry marks impossible image/processor-grid geometry: a
+	// non-positive or oversized image side, a pixel buffer whose length
+	// disagrees with the declared side, a processor count that is not a
+	// positive power of two, or an image that does not tile evenly on the
+	// processor grid.
+	ErrGeometry = errors.New("invalid geometry")
+	// ErrGreyRange marks grey-level domain violations: a pixel with grey
+	// level outside [0, k) for the requested k-bucket histogram.
+	ErrGreyRange = errors.New("grey level out of range")
+	// ErrLabelOverflow marks images whose side exceeds MaxSide, so the
+	// row-major seed labels would wrap the uint32 label space and collide
+	// (or reach the reserved background value 0).
+	ErrLabelOverflow = errors.New("label space overflow")
+)
+
+// InputError is a structured input-validation failure: the operation that
+// rejected the input, the taxonomy kind, the offending geometry context
+// (n, p, k; zero when not applicable), and a human-readable detail line.
+type InputError struct {
+	// Op is the rejecting operation, e.g. "parimg.Histogram".
+	Op string
+	// Kind is the taxonomy sentinel: ErrGeometry, ErrGreyRange,
+	// ErrLabelOverflow, or ErrBadInput for failures with no finer kind.
+	Kind error
+	// N, P, K are the image side, processor count and grey-level count in
+	// play when the input was rejected; fields are zero when not relevant.
+	N, P, K int
+	// Detail describes the specific violation.
+	Detail string
+}
+
+// Error formats the failure as "op: detail (kind; n=.. p=.. k=..)".
+func (e *InputError) Error() string {
+	var b strings.Builder
+	if e.Op != "" {
+		b.WriteString(e.Op)
+		b.WriteString(": ")
+	}
+	b.WriteString(e.Detail)
+	var ctx []string
+	if e.Kind != nil && e.Kind != ErrBadInput {
+		ctx = append(ctx, e.Kind.Error())
+	}
+	if e.N != 0 {
+		ctx = append(ctx, fmt.Sprintf("n=%d", e.N))
+	}
+	if e.P != 0 {
+		ctx = append(ctx, fmt.Sprintf("p=%d", e.P))
+	}
+	if e.K != 0 {
+		ctx = append(ctx, fmt.Sprintf("k=%d", e.K))
+	}
+	if len(ctx) > 0 {
+		b.WriteString(" (")
+		b.WriteString(strings.Join(ctx, "; "))
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// Unwrap exposes the taxonomy: the specific kind plus the ErrBadInput root,
+// so errors.Is matches both.
+func (e *InputError) Unwrap() []error {
+	if e.Kind == nil || e.Kind == ErrBadInput {
+		return []error{ErrBadInput}
+	}
+	return []error{e.Kind, ErrBadInput}
+}
+
+// Geometry returns an ErrGeometry input error. n and p carry the geometry
+// context (pass 0 when not applicable).
+func Geometry(op string, n, p int, format string, args ...any) error {
+	return &InputError{Op: op, Kind: ErrGeometry, N: n, P: p, Detail: fmt.Sprintf(format, args...)}
+}
+
+// GreyRange returns an ErrGreyRange input error with grey-level context k.
+func GreyRange(op string, k int, format string, args ...any) error {
+	return &InputError{Op: op, Kind: ErrGreyRange, K: k, Detail: fmt.Sprintf(format, args...)}
+}
+
+// LabelOverflow returns an ErrLabelOverflow input error for an n-sided
+// image exceeding MaxSide.
+func LabelOverflow(op string, n int) error {
+	return &InputError{Op: op, Kind: ErrLabelOverflow, N: n,
+		Detail: fmt.Sprintf("image side %d exceeds the uint32 label space (max %d)", n, MaxSide)}
+}
+
+// Bad returns a plain ErrBadInput input error for failures with no finer
+// taxonomy kind (an unknown flag value, a malformed file, a bad option).
+func Bad(op, format string, args ...any) error {
+	return &InputError{Op: op, Kind: ErrBadInput, Detail: fmt.Sprintf(format, args...)}
+}

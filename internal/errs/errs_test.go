@@ -1,0 +1,64 @@
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTaxonomyUnwrap(t *testing.T) {
+	cases := []struct {
+		err  error
+		kind error
+	}{
+		{Geometry("op", 7, 3, "bad tiling"), ErrGeometry},
+		{GreyRange("op", 16, "grey 99"), ErrGreyRange},
+		{LabelOverflow("op", 70000), ErrLabelOverflow},
+		{Bad("op", "unknown mode"), ErrBadInput},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.kind) {
+			t.Errorf("%v: not errors.Is its kind %v", c.err, c.kind)
+		}
+		if !errors.Is(c.err, ErrBadInput) {
+			t.Errorf("%v: not errors.Is(ErrBadInput)", c.err)
+		}
+		var ie *InputError
+		if !errors.As(c.err, &ie) {
+			t.Errorf("%v: not errors.As(*InputError)", c.err)
+		}
+	}
+	// Kinds stay distinct.
+	if errors.Is(Geometry("op", 1, 2, "x"), ErrGreyRange) {
+		t.Error("geometry error matched ErrGreyRange")
+	}
+	if errors.Is(Bad("op", "x"), ErrGeometry) {
+		t.Error("plain bad-input error matched ErrGeometry")
+	}
+}
+
+func TestInputErrorMessage(t *testing.T) {
+	err := Geometry("parimg.Histogram", 100, 32, "image does not tile evenly")
+	msg := err.Error()
+	for _, want := range []string{"parimg.Histogram:", "image does not tile evenly", "n=100", "p=32", "invalid geometry"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q is missing %q", msg, want)
+		}
+	}
+	// Wrapping via %w keeps the taxonomy intact.
+	wrapped := fmt.Errorf("cc: %w", err)
+	if !errors.Is(wrapped, ErrGeometry) || !errors.Is(wrapped, ErrBadInput) {
+		t.Errorf("wrapped error lost its taxonomy: %v", wrapped)
+	}
+}
+
+func TestMaxSideDerivation(t *testing.T) {
+	// MaxSide^2 must fit a uint32 seed label; (MaxSide+1)^2 must not.
+	if uint64(MaxSide)*uint64(MaxSide) >= 1<<32 {
+		t.Fatalf("MaxSide %d overflows the uint32 label space", MaxSide)
+	}
+	if uint64(MaxSide+1)*uint64(MaxSide+1) < 1<<32 {
+		t.Fatalf("MaxSide %d is not tight", MaxSide)
+	}
+}

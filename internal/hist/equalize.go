@@ -27,15 +27,12 @@ type EqualizeResult struct {
 // Tcomm = O(tau + k) and Tcomp = O(n^2/p + k), the same shape as
 // histogramming itself.
 func Equalize(m *bdm.Machine, im *image.Image, k int) (*EqualizeResult, error) {
-	if k < 2 || k&(k-1) != 0 {
-		return nil, fmt.Errorf("hist: k must be a power of two >= 2, got %d", k)
+	if err := checkInput("hist.Equalize", im, k); err != nil {
+		return nil, err
 	}
 	lay, err := image.NewLayout(im.N, m.P())
 	if err != nil {
 		return nil, fmt.Errorf("hist: %w", err)
-	}
-	if int(im.MaxGrey()) >= k {
-		return nil, fmt.Errorf("hist: image has grey level %d outside [0,%d)", im.MaxGrey(), k)
 	}
 
 	p := m.P()

@@ -22,9 +22,27 @@ import (
 
 	"parimg/internal/bdm"
 	"parimg/internal/comm"
+	"parimg/internal/errs"
 	"parimg/internal/image"
 	"parimg/internal/seq"
 )
+
+// checkInput validates the (image, k) pair every hist entry point shares:
+// the image must be structurally valid (Check), k must be a power of two
+// >= 2 (the paper's w.l.o.g. assumption), and every pixel must be a grey
+// level in [0, k). All failures are typed via the errs taxonomy.
+func checkInput(op string, im *image.Image, k int) error {
+	if k < 2 || k&(k-1) != 0 {
+		return errs.GreyRange(op, k, "k must be a power of two >= 2, got %d", k)
+	}
+	if err := im.Check(); err != nil {
+		return fmt.Errorf("hist: %w", err)
+	}
+	if int(im.MaxGrey()) >= k {
+		return errs.GreyRange(op, k, "image has grey level %d outside [0,%d)", im.MaxGrey(), k)
+	}
+	return nil
+}
 
 // opsPerPixelTally is the abstract operation count charged per pixel in the
 // local tally loop (load pixel, index bucket, increment). Machine profiles
@@ -82,16 +100,13 @@ func NewEngine(m *bdm.Machine) *Engine {
 // receiving its tile) is performed outside the timed region, as the paper
 // assumes the image is already distributed.
 func (e *Engine) Run(im *image.Image, k int) (*Result, error) {
-	if k < 2 || k&(k-1) != 0 {
-		return nil, fmt.Errorf("hist: k must be a power of two >= 2, got %d", k)
+	if err := checkInput("hist.Run", im, k); err != nil {
+		return nil, err
 	}
 	m := e.m
 	lay, err := image.NewLayout(im.N, m.P())
 	if err != nil {
 		return nil, fmt.Errorf("hist: %w", err)
-	}
-	if int(im.MaxGrey()) >= k {
-		return nil, fmt.Errorf("hist: image has grey level %d outside [0,%d)", im.MaxGrey(), k)
 	}
 
 	key := [2]int{im.N, k}
@@ -152,6 +167,9 @@ func runProc(pr *bdm.Proc, lay image.Layout, k int,
 		hi[i] = 0
 	}
 	if err := seq.Histogram(tiles.Local(pr), hi); err != nil {
+		// Invariant panic: checkInput verified every grey level fits in
+		// k buckets before the SPMD region; Machine.Run's recover turns
+		// any violation into bdm.ErrAborted.
 		panic(err)
 	}
 	pr.Work(opsPerPixelTally * lay.Q * lay.R)

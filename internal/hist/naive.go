@@ -21,15 +21,12 @@ import (
 // each grey level reside on the same processor" design (Section 4); see
 // BenchmarkAblationHistCollect.
 func RunNaive(m *bdm.Machine, im *image.Image, k int) (*Result, error) {
-	if k < 2 || k&(k-1) != 0 {
-		return nil, fmt.Errorf("hist: k must be a power of two >= 2, got %d", k)
+	if err := checkInput("hist.RunNaive", im, k); err != nil {
+		return nil, err
 	}
 	lay, err := image.NewLayout(im.N, m.P())
 	if err != nil {
 		return nil, fmt.Errorf("hist: %w", err)
-	}
-	if int(im.MaxGrey()) >= k {
-		return nil, fmt.Errorf("hist: image has grey level %d outside [0,%d)", im.MaxGrey(), k)
 	}
 
 	p := m.P()
@@ -48,6 +45,9 @@ func RunNaive(m *bdm.Machine, im *image.Image, k int) (*Result, error) {
 			hi[i] = 0
 		}
 		if err := seq.Histogram(tiles.Local(pr), hi); err != nil {
+			// Invariant panic: checkInput verified every grey level
+			// fits in k buckets before the SPMD region; Machine.Run's
+			// recover turns any violation into bdm.ErrAborted.
 			panic(err)
 		}
 		pr.Work(opsPerPixelTally * lay.Q * lay.R)

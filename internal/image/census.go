@@ -1,6 +1,10 @@
 package image
 
-import "sort"
+import (
+	"sort"
+
+	"parimg/internal/errs"
+)
 
 // ComponentStat summarizes one connected component of a labeling: the
 // per-object measurements (area, bounding box, centroid, grey level) that
@@ -26,9 +30,33 @@ type ComponentStat struct {
 // image, sorted by decreasing size (ties by increasing label). The labeling
 // and image must have the same side.
 func (l *Labels) Census(im *Image) []ComponentStat {
-	if im.N != l.N {
-		panic("image: Census size mismatch")
+	stats, err := l.CensusChecked(im)
+	if err != nil {
+		// Invariant panic: trusted callers pair a labeling with its source
+		// image; hostile pairs go through CensusChecked.
+		panic("image: " + err.Error())
 	}
+	return stats
+}
+
+// CensusChecked is Census with typed errors instead of panics: the image
+// and labeling must each be structurally valid (Check) and share one side.
+func (l *Labels) CensusChecked(im *Image) ([]ComponentStat, error) {
+	if err := l.Check(); err != nil {
+		return nil, err
+	}
+	if err := im.Check(); err != nil {
+		return nil, err
+	}
+	if im.N != l.N {
+		return nil, errs.Geometry("image.Census", l.N, 0,
+			"labeling side %d does not match image side %d", l.N, im.N)
+	}
+	return l.census(im), nil
+}
+
+// census is the validated body of Census.
+func (l *Labels) census(im *Image) []ComponentStat {
 	idx := make(map[uint32]int)
 	var stats []ComponentStat
 	var sumR, sumC []int64

@@ -6,7 +6,13 @@ package image
 
 import (
 	"fmt"
+
+	"parimg/internal/errs"
 )
+
+// MaxSide is the largest supported image side; see errs.MaxSide for the
+// uint32 seed-label derivation.
+const MaxSide = errs.MaxSide
 
 // Image is an n x n image of k grey levels stored row-major. Grey level 0
 // is background; grey levels > 0 are foreground objects.
@@ -17,12 +23,56 @@ type Image struct {
 	Pix []uint32
 }
 
-// New returns an all-background n x n image.
+// New returns an all-background n x n image. It is the trusted-caller
+// constructor: callers must have validated n (the generators do, the
+// checked public constructors go through NewChecked instead).
 func New(n int) *Image {
-	if n <= 0 {
+	if n <= 0 || n > MaxSide {
+		// Invariant panic: callers validate n before constructing; hostile
+		// sides reach NewChecked and return errors instead.
 		panic(fmt.Sprintf("image: invalid side %d", n))
 	}
 	return &Image{N: n, Pix: make([]uint32, n*n)}
+}
+
+// NewChecked returns an all-background n x n image, rejecting invalid
+// sides with a typed error instead of panicking: ErrGeometry for
+// non-positive n, ErrLabelOverflow for n > MaxSide.
+func NewChecked(n int) (*Image, error) {
+	if err := checkSide("image.NewChecked", n); err != nil {
+		return nil, err
+	}
+	return &Image{N: n, Pix: make([]uint32, n*n)}, nil
+}
+
+// checkSide validates an image side: 0 < n <= MaxSide.
+func checkSide(op string, n int) error {
+	if n <= 0 {
+		return errs.Geometry(op, n, 0, "image side %d is not positive", n)
+	}
+	if n > MaxSide {
+		return errs.LabelOverflow(op, n)
+	}
+	return nil
+}
+
+// Check validates the image structure itself — the defense against
+// hand-crafted Image values reaching the algorithms: the side must be in
+// (0, MaxSide] and the pixel buffer must hold exactly N*N elements. The
+// side limit is checked first so an oversized declared side reports
+// ErrLabelOverflow even when the buffer is (necessarily) short.
+func (im *Image) Check() error {
+	if im == nil {
+		return errs.Bad("image.Check", "nil image")
+	}
+	if err := checkSide("image.Check", im.N); err != nil {
+		return err
+	}
+	if len(im.Pix) != im.N*im.N {
+		return errs.Geometry("image.Check", im.N, 0,
+			"pixel buffer holds %d elements, want %d", len(im.Pix), im.N*im.N)
+	}
+	return nil
 }
 
 // At returns the pixel at row i, column j.
@@ -60,13 +110,20 @@ func (im *Image) CountForeground() int {
 	return n
 }
 
-// Histogram tallies the image into a k-bucket histogram. Pixels with grey
-// level >= k are an error (the image does not fit in k grey levels).
+// Histogram tallies the image into a k-bucket histogram. k must be
+// positive; pixels with grey level >= k are an ErrGreyRange error (the
+// image does not fit in k grey levels).
 func (im *Image) Histogram(k int) ([]int64, error) {
+	if k < 1 {
+		return nil, errs.GreyRange("image.Histogram", k, "histogram needs at least 1 bucket, got %d", k)
+	}
+	if err := im.Check(); err != nil {
+		return nil, err
+	}
 	h := make([]int64, k)
 	for _, v := range im.Pix {
 		if int(v) >= k {
-			return nil, fmt.Errorf("image: grey level %d outside [0,%d)", v, k)
+			return nil, errs.GreyRange("image.Histogram", k, "grey level %d outside [0,%d)", v, k)
 		}
 		h[v]++
 	}
@@ -81,9 +138,30 @@ type Labels struct {
 	Lab []uint32
 }
 
-// NewLabels returns an all-zero labeling for an n x n image.
+// NewLabels returns an all-zero labeling for an n x n image. Like New it
+// trusts its caller to pass a validated side.
 func NewLabels(n int) *Labels {
+	if n <= 0 || n > MaxSide {
+		// Invariant panic: callers validate n before constructing.
+		panic(fmt.Sprintf("image: invalid labeling side %d", n))
+	}
 	return &Labels{N: n, Lab: make([]uint32, n*n)}
+}
+
+// Check validates the labeling structure the way Image.Check validates an
+// image: side in (0, MaxSide], exactly N*N labels.
+func (l *Labels) Check() error {
+	if l == nil {
+		return errs.Bad("labels.Check", "nil labeling")
+	}
+	if err := checkSide("labels.Check", l.N); err != nil {
+		return err
+	}
+	if len(l.Lab) != l.N*l.N {
+		return errs.Geometry("labels.Check", l.N, 0,
+			"label buffer holds %d elements, want %d", len(l.Lab), l.N*l.N)
+	}
+	return nil
 }
 
 // At returns the label at row i, column j.

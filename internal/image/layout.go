@@ -1,6 +1,10 @@
 package image
 
-import "fmt"
+import (
+	"fmt"
+
+	"parimg/internal/errs"
+)
 
 // Layout is the data layout of Section 3: the p processors form a logical
 // v x w grid (v rows, w columns) with p = v*w, assigned in row-major order,
@@ -19,7 +23,7 @@ type Layout struct {
 // v = 2^floor(d/2) rows and w = 2^ceil(d/2) columns, per Section 3.
 func GridShape(p int) (v, w int, err error) {
 	if p <= 0 || p&(p-1) != 0 {
-		return 0, 0, fmt.Errorf("image: p must be a positive power of two, got %d", p)
+		return 0, 0, errs.Geometry("image.GridShape", 0, p, "p must be a positive power of two, got %d", p)
 	}
 	d := 0
 	for 1<<d < p {
@@ -38,8 +42,12 @@ func NewLayout(n, p int) (Layout, error) {
 	if err != nil {
 		return Layout{}, err
 	}
+	if err := checkSide("image.NewLayout", n); err != nil {
+		return Layout{}, err
+	}
 	if n%v != 0 || n%w != 0 {
-		return Layout{}, fmt.Errorf("image: %d x %d image does not tile evenly on a %d x %d processor grid", n, n, v, w)
+		return Layout{}, errs.Geometry("image.NewLayout", n, p,
+			"%d x %d image does not tile evenly on a %d x %d processor grid", n, n, v, w)
 	}
 	return Layout{N: n, P: p, V: v, W: w, Q: n / v, R: n / w}, nil
 }
@@ -80,6 +88,8 @@ func (l Layout) InitialLabel(rank, i, j int) uint32 {
 // which must have length q*r; the tile is stored row-major.
 func (l Layout) Scatter(im *Image, rank int, dst []uint32) {
 	if len(dst) != l.Q*l.R {
+		// Invariant panic: dst is always sized from the same Layout by the
+		// simulator backends; a mismatch is a bug, not caller input.
 		panic(fmt.Sprintf("image: Scatter dst has %d elements, want %d", len(dst), l.Q*l.R))
 	}
 	r0, c0 := l.TileOrigin(rank)
@@ -92,6 +102,8 @@ func (l Layout) Scatter(im *Image, rank int, dst []uint32) {
 // q*r) back into the global labeling.
 func (l Layout) GatherLabels(out *Labels, rank int, src []uint32) {
 	if len(src) != l.Q*l.R {
+		// Invariant panic: src is always sized from the same Layout by the
+		// simulator backends; a mismatch is a bug, not caller input.
 		panic(fmt.Sprintf("image: GatherLabels src has %d elements, want %d", len(src), l.Q*l.R))
 	}
 	r0, c0 := l.TileOrigin(rank)

@@ -3,6 +3,8 @@ package image
 import (
 	"fmt"
 	"math"
+
+	"parimg/internal/errs"
 )
 
 // The nine scalable binary test patterns of Figure 1, "the most widely used
@@ -61,6 +63,18 @@ func (id PatternID) String() string {
 	return fmt.Sprintf("pattern-%d", int(id))
 }
 
+// GenerateChecked renders catalog image id at side n, rejecting unknown
+// pattern ids and invalid sides with typed errors instead of panicking.
+func GenerateChecked(id PatternID, n int) (*Image, error) {
+	if id < HorizontalBars || id > DualSpiral {
+		return nil, errs.Bad("image.Generate", "unknown pattern %d", int(id))
+	}
+	if err := checkSide("image.Generate", n); err != nil {
+		return nil, err
+	}
+	return Generate(id, n), nil
+}
+
 // Generate renders catalog image id at side n.
 func Generate(id PatternID, n int) *Image {
 	switch id {
@@ -83,6 +97,8 @@ func Generate(id PatternID, n int) *Image {
 	case DualSpiral:
 		return GenDualSpiral(n)
 	}
+	// Invariant panic: trusted callers pass catalog ids; hostile ids go
+	// through GenerateChecked.
 	panic(fmt.Sprintf("image: unknown pattern %d", int(id)))
 }
 

@@ -4,6 +4,9 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
+
+	"parimg/internal/errs"
 )
 
 // WritePGM writes the image as a binary (P5) portable greymap with the
@@ -11,7 +14,10 @@ import (
 // generated test images and the outputs of the example programs.
 func (im *Image) WritePGM(w io.Writer, maxVal int) error {
 	if maxVal < 1 || maxVal > 255 {
-		return fmt.Errorf("image: PGM maxval %d outside [1,255]", maxVal)
+		return errs.Bad("image.WritePGM", "PGM maxval %d outside [1,255]", maxVal)
+	}
+	if err := im.Check(); err != nil {
+		return err
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n%d\n", im.N, im.N, maxVal); err != nil {
@@ -29,37 +35,121 @@ func (im *Image) WritePGM(w io.Writer, maxVal int) error {
 	return bw.Flush()
 }
 
-// ReadPGM reads a binary (P5) portable greymap. The image must be square.
+// pgmToken reads the next header token: whitespace is skipped, and a '#'
+// starts a comment running to the end of the line (the standard PGM comment
+// syntax). The whitespace byte terminating the token is consumed, which for
+// the final header token (maxval) is exactly the single separator byte the
+// format requires before the pixel data.
+func pgmToken(br *bufio.Reader) (string, error) {
+	// Skip whitespace and comment lines.
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		if b == '#' {
+			if _, err := br.ReadString('\n'); err != nil {
+				return "", err
+			}
+			continue
+		}
+		if !isPGMSpace(b) {
+			if err := br.UnreadByte(); err != nil {
+				return "", err
+			}
+			break
+		}
+	}
+	// Accumulate the token up to (and consuming) the next whitespace byte.
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", err
+		}
+		if isPGMSpace(b) {
+			break
+		}
+		tok = append(tok, b)
+		if len(tok) > 32 {
+			return "", errs.Bad("image.ReadPGM", "header token longer than 32 bytes")
+		}
+	}
+	return string(tok), nil
+}
+
+// isPGMSpace reports whether b is PGM header whitespace.
+func isPGMSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\v' || b == '\f'
+}
+
+// pgmInt reads one non-negative decimal header field.
+func pgmInt(br *bufio.Reader, field string) (int, error) {
+	tok, err := pgmToken(br)
+	if err != nil {
+		return 0, errs.Bad("image.ReadPGM", "reading %s: %v", field, err)
+	}
+	v, err := strconv.Atoi(tok)
+	if err != nil || v < 0 {
+		return 0, errs.Bad("image.ReadPGM", "%s %q is not a non-negative integer", field, tok)
+	}
+	return v, nil
+}
+
+// ReadPGM reads a binary (P5) portable greymap, including headers with '#'
+// comment lines. The image must be square with side in (0, MaxSide]. All
+// failures — a bad magic, a malformed or truncated header, non-square or
+// oversized dimensions, a maxval outside [1,255], or missing pixel data —
+// return typed errors (never a panic), and pixel storage is allocated
+// incrementally as rows arrive, so a crafted header cannot force an
+// allocation larger than the actual input.
 func ReadPGM(r io.Reader) (*Image, error) {
 	br := bufio.NewReader(r)
-	var magic string
-	if _, err := fmt.Fscan(br, &magic); err != nil {
-		return nil, fmt.Errorf("image: reading PGM magic: %w", err)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, errs.Bad("image.ReadPGM", "reading magic: %v", err)
 	}
 	if magic != "P5" {
-		return nil, fmt.Errorf("image: unsupported PGM magic %q", magic)
+		return nil, errs.Bad("image.ReadPGM", "unsupported PGM magic %q", magic)
 	}
-	var w, h, maxVal int
-	if _, err := fmt.Fscan(br, &w, &h, &maxVal); err != nil {
-		return nil, fmt.Errorf("image: reading PGM header: %w", err)
+	w, err := pgmInt(br, "width")
+	if err != nil {
+		return nil, err
+	}
+	h, err := pgmInt(br, "height")
+	if err != nil {
+		return nil, err
+	}
+	maxVal, err := pgmInt(br, "maxval")
+	if err != nil {
+		return nil, err
 	}
 	if w != h {
-		return nil, fmt.Errorf("image: PGM is %dx%d; only square images are supported", w, h)
+		return nil, errs.Geometry("image.ReadPGM", w, 0,
+			"PGM is %dx%d; only square images are supported", w, h)
+	}
+	if err := checkSide("image.ReadPGM", w); err != nil {
+		return nil, err
 	}
 	if maxVal < 1 || maxVal > 255 {
-		return nil, fmt.Errorf("image: PGM maxval %d outside [1,255]", maxVal)
+		return nil, errs.Bad("image.ReadPGM", "PGM maxval %d outside [1,255]", maxVal)
 	}
-	// Exactly one whitespace byte separates the header from pixel data.
-	if _, err := br.ReadByte(); err != nil {
-		return nil, fmt.Errorf("image: reading PGM separator: %w", err)
-	}
-	im := New(w)
-	buf := make([]byte, w*h)
-	if _, err := io.ReadFull(br, buf); err != nil {
-		return nil, fmt.Errorf("image: reading PGM pixels: %w", err)
-	}
-	for i, b := range buf {
-		im.Pix[i] = uint32(b)
+	// The pixel area is bounded (w == h <= MaxSide), but grow the pixel
+	// array row by row anyway: a short stream then fails after buffering at
+	// most one row, instead of committing w*h words up front on the word of
+	// a 20-byte header.
+	im := &Image{N: w, Pix: make([]uint32, 0, min(w*h, 1<<20))}
+	row := make([]byte, w)
+	for y := 0; y < h; y++ {
+		if _, err := io.ReadFull(br, row); err != nil {
+			return nil, errs.Bad("image.ReadPGM", "reading pixel row %d of %d: %v", y, h, err)
+		}
+		for _, b := range row {
+			im.Pix = append(im.Pix, uint32(b))
+		}
 	}
 	return im, nil
 }

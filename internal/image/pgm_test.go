@@ -2,8 +2,13 @@ package image
 
 import (
 	"bytes"
+	"errors"
+	"math"
+	"runtime"
 	"strings"
 	"testing"
+
+	"parimg/internal/errs"
 )
 
 func TestPGMRoundTrip(t *testing.T) {
@@ -80,5 +85,151 @@ func TestReadPGMWhitespaceHandling(t *testing.T) {
 	}
 	if im.At(0, 0) != 1 || im.At(1, 1) != 4 {
 		t.Errorf("pixels %v", im.Pix)
+	}
+}
+
+func TestReadPGMCommentLines(t *testing.T) {
+	// '#' comments may appear anywhere between header tokens (standard
+	// PGM); this used to be a hard parse failure.
+	data := "P5\n# created by an image editor\n2 2\n# maxval next\n255\n" +
+		string([]byte{10, 20, 30, 40})
+	im, err := ReadPGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.N != 2 || im.At(0, 1) != 20 || im.At(1, 1) != 40 {
+		t.Errorf("side %d pixels %v", im.N, im.Pix)
+	}
+}
+
+func TestReadPGMHostileHeaders(t *testing.T) {
+	cases := []struct {
+		name, data string
+		kind       error
+	}{
+		{"zero side", "P5\n0 0\n255\n", errs.ErrGeometry},
+		{"negative width", "P5\n-2 -2\n255\n....", errs.ErrBadInput},
+		{"oversized side", "P5\n999999999 999999999\n255\n", errs.ErrLabelOverflow},
+		{"overflow side", "P5\n4294967296 4294967296\n255\n", errs.ErrBadInput},
+		{"non-numeric width", "P5\nxx 2\n255\n....", errs.ErrBadInput},
+		{"maxval zero", "P5\n2 2\n0\n....", errs.ErrBadInput},
+		{"header-only", "P5\n2 2\n255\n", errs.ErrBadInput},
+		{"comment to EOF", "P5\n# never ends", errs.ErrBadInput},
+		{"huge token", "P5\n" + strings.Repeat("1", 64) + " 2\n255\n", errs.ErrBadInput},
+	}
+	for _, c := range cases {
+		im, err := ReadPGM(strings.NewReader(c.data))
+		if err == nil {
+			t.Errorf("%s: got image %dx%d, want error", c.name, im.N, im.N)
+			continue
+		}
+		if !errors.Is(err, c.kind) {
+			t.Errorf("%s: error %v is not %v", c.name, err, c.kind)
+		}
+		if !errors.Is(err, errs.ErrBadInput) {
+			t.Errorf("%s: error %v is outside the taxonomy", c.name, err)
+		}
+	}
+}
+
+func TestReadPGMDoesNotPreallocateFromHeader(t *testing.T) {
+	// A header declaring the maximum side followed by no pixel data must
+	// fail fast without committing the declared w*h words.
+	data := "P5\n65535 65535\n255\n"
+	before := allocatedBytes()
+	_, err := ReadPGM(strings.NewReader(data))
+	after := allocatedBytes()
+	if err == nil {
+		t.Fatal("want error for missing pixel data")
+	}
+	// The declared image would be ~17 GB; the failed parse must stay far
+	// below that (one row buffer + one append chunk).
+	if grown := after - before; grown > 64<<20 {
+		t.Errorf("failed parse grew the heap by %d bytes", grown)
+	}
+}
+
+func allocatedBytes() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+func TestCheckedConstructors(t *testing.T) {
+	if _, err := NewChecked(0); !errors.Is(err, errs.ErrGeometry) {
+		t.Errorf("NewChecked(0): %v", err)
+	}
+	if _, err := NewChecked(MaxSide + 1); !errors.Is(err, errs.ErrLabelOverflow) {
+		t.Errorf("NewChecked(MaxSide+1): %v", err)
+	}
+	if im, err := NewChecked(4); err != nil || im.N != 4 {
+		t.Errorf("NewChecked(4): %v, %v", im, err)
+	}
+	if _, err := RandomBinaryChecked(8, 1.5, 1); !errors.Is(err, errs.ErrBadInput) {
+		t.Errorf("RandomBinaryChecked density 1.5: %v", err)
+	}
+	if _, err := RandomBinaryChecked(8, math.NaN(), 1); !errors.Is(err, errs.ErrBadInput) {
+		t.Errorf("RandomBinaryChecked NaN density: %v", err)
+	}
+	if _, err := RandomGreyChecked(8, 1, 1); !errors.Is(err, errs.ErrGreyRange) {
+		t.Errorf("RandomGreyChecked k=1: %v", err)
+	}
+	if _, err := RandomGreyChecked(-3, 8, 1); !errors.Is(err, errs.ErrGeometry) {
+		t.Errorf("RandomGreyChecked n=-3: %v", err)
+	}
+	if _, err := GenerateChecked(PatternID(99), 32); !errors.Is(err, errs.ErrBadInput) {
+		t.Errorf("GenerateChecked bad id: %v", err)
+	}
+	if _, err := GenerateChecked(Cross, -1); !errors.Is(err, errs.ErrGeometry) {
+		t.Errorf("GenerateChecked bad side: %v", err)
+	}
+	if im, err := GenerateChecked(Cross, 32); err != nil || im.CountForeground() == 0 {
+		t.Errorf("GenerateChecked(Cross, 32): %v", err)
+	}
+}
+
+func TestImageAndLabelsCheck(t *testing.T) {
+	cases := []struct {
+		name string
+		im   *Image
+		kind error
+	}{
+		{"nil", nil, errs.ErrBadInput},
+		{"zero side", &Image{N: 0}, errs.ErrGeometry},
+		{"negative side", &Image{N: -4, Pix: nil}, errs.ErrGeometry},
+		{"short buffer", &Image{N: 4, Pix: make([]uint32, 3)}, errs.ErrGeometry},
+		{"long buffer", &Image{N: 2, Pix: make([]uint32, 9)}, errs.ErrGeometry},
+		{"oversized side", &Image{N: MaxSide + 1, Pix: nil}, errs.ErrLabelOverflow},
+	}
+	for _, c := range cases {
+		if err := c.im.Check(); !errors.Is(err, c.kind) {
+			t.Errorf("Image %s: Check = %v, want %v", c.name, err, c.kind)
+		}
+	}
+	if err := New(8).Check(); err != nil {
+		t.Errorf("valid image: %v", err)
+	}
+	if err := (&Labels{N: 4, Lab: make([]uint32, 5)}).Check(); !errors.Is(err, errs.ErrGeometry) {
+		t.Error("short labels passed Check")
+	}
+	var nilLabels *Labels
+	if err := nilLabels.Check(); !errors.Is(err, errs.ErrBadInput) {
+		t.Error("nil labels passed Check")
+	}
+	if err := NewLabels(4).Check(); err != nil {
+		t.Errorf("valid labels: %v", err)
+	}
+}
+
+func TestCensusChecked(t *testing.T) {
+	im := New(4)
+	if _, err := NewLabels(5).CensusChecked(im); !errors.Is(err, errs.ErrGeometry) {
+		t.Error("size mismatch passed CensusChecked")
+	}
+	if _, err := NewLabels(4).CensusChecked(&Image{N: 4, Pix: nil}); !errors.Is(err, errs.ErrGeometry) {
+		t.Error("malformed image passed CensusChecked")
+	}
+	if stats, err := NewLabels(4).CensusChecked(im); err != nil || len(stats) != 0 {
+		t.Errorf("empty census: %v, %v", stats, err)
 	}
 }

@@ -1,6 +1,10 @@
 package image
 
-import "fmt"
+import (
+	"fmt"
+
+	"parimg/internal/errs"
+)
 
 // rng is a small deterministic xorshift64* generator so that test images
 // are reproducible across Go releases (math/rand's stream is not part of
@@ -36,37 +40,73 @@ func (r *rng) Intn(n int) int {
 // percolation threshold (~0.593 for 4-connectivity) give the richest
 // component structure.
 func RandomBinary(n int, density float64, seed uint64) *Image {
-	if density < 0 || density > 1 {
-		panic(fmt.Sprintf("image: density %v outside [0,1]", density))
+	im, err := RandomBinaryChecked(n, density, seed)
+	if err != nil {
+		// Invariant panic: trusted callers validate n and density first;
+		// hostile inputs go through RandomBinaryChecked.
+		panic(fmt.Sprintf("image: %v", err))
 	}
-	im := New(n)
+	return im
+}
+
+// RandomBinaryChecked is RandomBinary with typed errors instead of panics:
+// ErrGeometry/ErrLabelOverflow for a bad side, ErrBadInput for a density
+// outside [0, 1] (NaN included).
+func RandomBinaryChecked(n int, density float64, seed uint64) (*Image, error) {
+	if !(density >= 0 && density <= 1) {
+		return nil, errs.Bad("image.RandomBinary", "density %v outside [0,1]", density)
+	}
+	im, err := NewChecked(n)
+	if err != nil {
+		return nil, err
+	}
 	r := newRNG(seed)
 	for i := range im.Pix {
 		if r.Float64() < density {
 			im.Pix[i] = 1
 		}
 	}
-	return im
+	return im, nil
 }
 
 // RandomGrey returns an n x n image with k grey levels where each pixel is
 // drawn uniformly from [0, k), deterministically from seed.
 func RandomGrey(n, k int, seed uint64) *Image {
-	if k < 2 {
-		panic(fmt.Sprintf("image: need at least 2 grey levels, got %d", k))
+	im, err := RandomGreyChecked(n, k, seed)
+	if err != nil {
+		// Invariant panic: trusted callers validate n and k first; hostile
+		// inputs go through RandomGreyChecked.
+		panic(fmt.Sprintf("image: %v", err))
 	}
-	im := New(n)
+	return im
+}
+
+// RandomGreyChecked is RandomGrey with typed errors instead of panics:
+// ErrGreyRange for k < 2, ErrGeometry/ErrLabelOverflow for a bad side.
+func RandomGreyChecked(n, k int, seed uint64) (*Image, error) {
+	if k < 2 {
+		return nil, errs.GreyRange("image.RandomGrey", k, "need at least 2 grey levels, got %d", k)
+	}
+	im, err := NewChecked(n)
+	if err != nil {
+		return nil, err
+	}
 	r := newRNG(seed)
 	for i := range im.Pix {
 		im.Pix[i] = uint32(r.Intn(k))
 	}
-	return im
+	return im, nil
 }
 
 // RandomBlobs returns an n x n binary image of count random axis-aligned
 // rectangles and discs, useful for generating component censuses of
 // controlled richness.
 func RandomBlobs(n, count int, seed uint64) *Image {
+	if n < 8 {
+		// Invariant panic: internal test-image generator; blob sizing needs
+		// room for the 2-pixel minimum feature.
+		panic(fmt.Sprintf("image: RandomBlobs needs n >= 8, got %d", n))
+	}
 	im := New(n)
 	r := newRNG(seed)
 	for b := 0; b < count; b++ {

@@ -3,6 +3,7 @@ package par
 import (
 	"fmt"
 
+	"parimg/internal/errs"
 	"parimg/internal/image"
 )
 
@@ -11,6 +12,9 @@ import (
 // a tree of log(workers) parallel rounds. Pixels with grey level >= k are
 // an error, as in the sequential baseline.
 func (e *Engine) Histogram(im *image.Image, k int) ([]int64, error) {
+	if k < 1 {
+		return nil, errs.GreyRange("par.Histogram", k, "histogram needs at least 1 bucket, got %d", k)
+	}
 	h := make([]int64, k)
 	if err := e.HistogramInto(im, h); err != nil {
 		return nil, err
@@ -18,11 +22,16 @@ func (e *Engine) Histogram(im *image.Image, k int) ([]int64, error) {
 	return h, nil
 }
 
-// HistogramInto tallies im into h (len(h) buckets), overwriting it.
+// HistogramInto tallies im into h (len(h) buckets), overwriting it. A
+// malformed image, an empty bucket slice or a pixel with grey level >=
+// len(h) returns a typed error from the errs taxonomy.
 func (e *Engine) HistogramInto(im *image.Image, h []int64) error {
 	k := len(h)
 	if k < 1 {
-		return fmt.Errorf("par: histogram needs at least 1 bucket")
+		return errs.GreyRange("par.Histogram", k, "histogram needs at least 1 bucket")
+	}
+	if err := im.Check(); err != nil {
+		return fmt.Errorf("par: %w", err)
 	}
 	n := im.N
 	W := e.stripCount(n)
@@ -43,7 +52,8 @@ func (e *Engine) HistogramInto(im *image.Image, h []int64) error {
 			r0, r1 := stripBounds(w, W, n)
 			for _, v := range im.Pix[r0*n : r1*n] {
 				if int(v) >= k {
-					e.errs[w] = fmt.Errorf("par: grey level %d outside [0,%d)", v, k)
+					e.errs[w] = errs.GreyRange("par.Histogram", k,
+						"grey level %d outside [0,%d)", v, k)
 					return
 				}
 				shard[v]++

@@ -1,23 +1,87 @@
 package par
 
 import (
+	"fmt"
+
+	"parimg/internal/errs"
 	"parimg/internal/image"
 	"parimg/internal/obs"
 	"parimg/internal/seq"
 )
 
+// checkLabelInput validates the (image, connectivity, mode) triple shared by
+// every labeling entry point. Image.Check enforces the structural invariants
+// including the n <= MaxSide label-space bound: seed labels are the global
+// row-major index + 1 in uint32, so a larger side would silently wrap
+// (65536*65536 == 2^32) and collide labels across strips.
+func checkLabelInput(op string, im *image.Image, conn image.Connectivity, mode seq.Mode) error {
+	if err := im.Check(); err != nil {
+		return fmt.Errorf("par: %w", err)
+	}
+	if !conn.Valid() {
+		return errs.Bad(op, "invalid connectivity %d (want 4 or 8)", int(conn))
+	}
+	if mode != seq.Binary && mode != seq.Grey {
+		return errs.Bad(op, "invalid mode %d", int(mode))
+	}
+	return nil
+}
+
 // Label labels im's connected components with the engine's workers and
 // returns a fresh labeling, pixel-for-pixel identical to seq.LabelBFS.
+// Invalid inputs panic; hostile inputs go through LabelErr.
 func (e *Engine) Label(im *image.Image, conn image.Connectivity, mode seq.Mode) *image.Labels {
-	out := image.NewLabels(im.N)
-	e.labelInto(im, conn, mode, out, false)
+	out, err := e.LabelErr(im, conn, mode)
+	if err != nil {
+		// Invariant panic: trusted callers validate first; hostile inputs
+		// go through LabelErr. Silently wrapping seed labels on oversized
+		// images would corrupt the labeling, so fail loudly instead.
+		panic(err.Error())
+	}
 	return out
 }
 
+// LabelErr is Label with typed input validation: a malformed image (nil,
+// side outside (0, MaxSide], wrong buffer length), an unknown connectivity
+// or an unknown mode returns an error from the errs taxonomy instead of
+// panicking or silently wrapping 32-bit seed labels.
+func (e *Engine) LabelErr(im *image.Image, conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
+	if err := checkLabelInput("par.Label", im, conn, mode); err != nil {
+		return nil, err
+	}
+	out := image.NewLabels(im.N)
+	e.labelInto(im, conn, mode, out, false)
+	return out, nil
+}
+
 // LabelInto labels im into out (cleared first) and returns the number of
-// components. out must have side im.N.
+// components. out must have side im.N. Invalid inputs panic; hostile inputs
+// go through LabelIntoErr.
 func (e *Engine) LabelInto(im *image.Image, conn image.Connectivity, mode seq.Mode, out *image.Labels) int {
-	return e.labelInto(im, conn, mode, out, true)
+	comps, err := e.LabelIntoErr(im, conn, mode, out)
+	if err != nil {
+		// Invariant panic: trusted callers validate first; hostile inputs
+		// go through LabelIntoErr.
+		panic(err.Error())
+	}
+	return comps
+}
+
+// LabelIntoErr is LabelInto with typed input validation: it additionally
+// checks that out is structurally valid and matches im's side.
+func (e *Engine) LabelIntoErr(im *image.Image, conn image.Connectivity, mode seq.Mode,
+	out *image.Labels) (int, error) {
+	if err := checkLabelInput("par.LabelInto", im, conn, mode); err != nil {
+		return 0, err
+	}
+	if err := out.Check(); err != nil {
+		return 0, fmt.Errorf("par: %w", err)
+	}
+	if out.N != im.N {
+		return 0, errs.Geometry("par.LabelInto", im.N, 0,
+			"labeling side %d does not match image side %d", out.N, im.N)
+	}
+	return e.labelInto(im, conn, mode, out, true), nil
 }
 
 // labelInto dispatches to the strip algorithm the engine's Algo resolves

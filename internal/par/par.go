@@ -220,6 +220,17 @@ func LabelWith(algo Algo, im *image.Image, conn image.Connectivity, mode seq.Mod
 	return e.Label(im, conn, mode)
 }
 
+// LabelWithErr is LabelWith with typed input validation instead of panics:
+// malformed images (including sides beyond image.MaxSide, which would wrap
+// the 32-bit seed labels), unknown connectivities and unknown modes return
+// errors from the errs taxonomy. Safe for concurrent use.
+func LabelWithErr(algo Algo, im *image.Image, conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
+	e := enginePool.Get().(*Engine)
+	defer enginePool.Put(e)
+	e.SetAlgo(algo)
+	return e.LabelErr(im, conn, mode)
+}
+
 // LabelObserved is LabelWith with a metrics recorder installed for the
 // duration of the call (the pooled engine's observer is removed before the
 // engine returns to the pool). Safe for concurrent use, but concurrent
@@ -232,6 +243,18 @@ func LabelObserved(r *obs.Recorder, algo Algo, im *image.Image,
 	e.SetObserver(r)
 	defer e.SetObserver(nil)
 	return e.Label(im, conn, mode)
+}
+
+// LabelObservedErr is LabelObserved with typed input validation instead of
+// panics; see LabelWithErr for the rejected inputs. Safe for concurrent use.
+func LabelObservedErr(r *obs.Recorder, algo Algo, im *image.Image,
+	conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
+	e := enginePool.Get().(*Engine)
+	defer enginePool.Put(e)
+	e.SetAlgo(algo)
+	e.SetObserver(r)
+	defer e.SetObserver(nil)
+	return e.LabelErr(im, conn, mode)
 }
 
 // Histogram computes im's k-bucket histogram on a pooled engine with

@@ -68,6 +68,8 @@ func Histogram(pix []uint32, h []uint32) error {
 func TileLabeler(pix []uint32, rows, cols int, conn image.Connectivity, mode Mode,
 	labelAt func(i, j int) uint32, labels []uint32, queue []int32) (int, []int32) {
 	if len(pix) != rows*cols || len(labels) != rows*cols {
+		// Invariant panic: the tile buffers are sized by the backends from
+		// the same layout; a mismatch is a bug, not caller input.
 		panic(fmt.Sprintf("seq: TileLabeler size mismatch: %d pixels, %d labels, want %d",
 			len(pix), len(labels), rows*cols))
 	}
@@ -84,6 +86,8 @@ func TileLabeler(pix []uint32, rows, cols int, conn image.Connectivity, mode Mod
 			}
 			lab := labelAt(i, j)
 			if lab == 0 {
+				// Invariant panic: labelAt is supplied by the backends
+				// and always derives labels as global index + 1 > 0.
 				panic("seq: labelAt returned 0, which is reserved for background")
 			}
 			comps++

@@ -23,11 +23,11 @@
 package parimg
 
 import (
-	"fmt"
 	"io"
 
 	"parimg/internal/bdm"
 	"parimg/internal/cc"
+	"parimg/internal/errs"
 	"parimg/internal/hist"
 	"parimg/internal/image"
 	"parimg/internal/machine"
@@ -36,6 +36,40 @@ import (
 	"parimg/internal/recognize"
 	"parimg/internal/seq"
 )
+
+// The typed error taxonomy of the public boundary. Every validation failure
+// returned by this package (and by the error-returning *Err variants)
+// matches ErrBadInput under errors.Is; the more specific sentinels classify
+// the failure, and the concrete *InputError carries the offending n/p/k.
+// Panics are reserved for internal invariant violations — arbitrary caller
+// input never panics through an error-returning entry point.
+var (
+	// ErrBadInput is the root of the taxonomy: every input-validation
+	// failure wraps it.
+	ErrBadInput = errs.ErrBadInput
+	// ErrGeometry marks invalid image/grid geometry: non-positive or
+	// mismatched sides, buffers of the wrong length, processor counts that
+	// cannot tile the image.
+	ErrGeometry = errs.ErrGeometry
+	// ErrGreyRange marks grey levels or bucket counts outside the valid
+	// range (a pixel >= k, k not a power of two where required, k < 1).
+	ErrGreyRange = errs.ErrGreyRange
+	// ErrLabelOverflow marks images whose side exceeds MaxSide: seed labels
+	// are the global row-major pixel index + 1 in uint32, so any larger
+	// image would wrap the 32-bit label space and collide components.
+	ErrLabelOverflow = errs.ErrLabelOverflow
+)
+
+// InputError is the concrete error type behind the sentinels: it records
+// the failing operation, the matched sentinel, and the offending image
+// side, processor count, and grey-level count where relevant. Retrieve it
+// with errors.As.
+type InputError = errs.InputError
+
+// MaxSide is the largest supported image side. Labels are 32-bit and seed
+// labels are the global row-major index + 1, so MaxSide^2 must stay below
+// 2^32: 65535^2 = 4294836225 < 2^32, while 65536^2 wraps to exactly 0.
+const MaxSide = image.MaxSide
 
 // Re-exported core types. The aliases keep one set of concrete types across
 // the public API and the internal algorithm packages.
@@ -134,23 +168,49 @@ func Machines() []MachineSpec { return machine.All() }
 // ideal), case-insensitively.
 func MachineByName(name string) (MachineSpec, error) { return machine.ByName(name) }
 
-// NewImage returns an all-background n x n image.
+// NewImage returns an all-background n x n image. Invalid sides panic;
+// NewImageErr returns them as errors.
 func NewImage(n int) *Image { return image.New(n) }
 
-// GeneratePattern renders catalog pattern id at side n.
+// NewImageErr is NewImage with typed validation: n outside (0, MaxSide]
+// returns ErrGeometry or ErrLabelOverflow instead of panicking.
+func NewImageErr(n int) (*Image, error) { return image.NewChecked(n) }
+
+// GeneratePattern renders catalog pattern id at side n. Unknown ids and
+// invalid sides panic; GeneratePatternErr returns them as errors.
 func GeneratePattern(id PatternID, n int) *Image { return image.Generate(id, n) }
+
+// GeneratePatternErr is GeneratePattern with typed validation: an id outside
+// the Figure 1 catalog or a side outside (0, MaxSide] returns an error.
+func GeneratePatternErr(id PatternID, n int) (*Image, error) {
+	return image.GenerateChecked(id, n)
+}
 
 // AllPatterns lists the nine catalog patterns in Figure 1 order.
 func AllPatterns() []PatternID { return image.AllPatterns() }
 
 // RandomBinary returns a deterministic random binary image with the given
-// foreground density.
+// foreground density. Invalid sides and densities panic; RandomBinaryErr
+// returns them as errors.
 func RandomBinary(n int, density float64, seed uint64) *Image {
 	return image.RandomBinary(n, density, seed)
 }
 
+// RandomBinaryErr is RandomBinary with typed validation: a side outside
+// (0, MaxSide] or a density outside [0, 1] (including NaN) returns an error.
+func RandomBinaryErr(n int, density float64, seed uint64) (*Image, error) {
+	return image.RandomBinaryChecked(n, density, seed)
+}
+
 // RandomGrey returns a deterministic random image with k grey levels.
+// Invalid sides and grey counts panic; RandomGreyErr returns them as errors.
 func RandomGrey(n, k int, seed uint64) *Image { return image.RandomGrey(n, k, seed) }
+
+// RandomGreyErr is RandomGrey with typed validation: a side outside
+// (0, MaxSide] or k < 2 returns an error.
+func RandomGreyErr(n, k int, seed uint64) (*Image, error) {
+	return image.RandomGreyChecked(n, k, seed)
+}
 
 // NewLabels returns a zeroed labeling for an n x n image, for use with
 // ParallelEngine.LabelInto.
@@ -174,10 +234,12 @@ type Simulator struct {
 }
 
 // NewSimulator creates a simulator with p processors (a power of two) and
-// the given machine profile.
+// the given machine profile. A p that is not a positive power of two
+// returns ErrGeometry.
 func NewSimulator(p int, spec MachineSpec) (*Simulator, error) {
 	if p <= 0 || p&(p-1) != 0 {
-		return nil, fmt.Errorf("parimg: p must be a positive power of two, got %d", p)
+		return nil, errs.Geometry("parimg.NewSimulator", 0, p,
+			"p must be a positive power of two, got %d", p)
 	}
 	m, err := bdm.NewMachine(p, spec)
 	if err != nil {
@@ -244,7 +306,8 @@ func (s *Simulator) Equalize(im *Image, k int) (*EqualizeResult, error) {
 func OtsuThreshold(h []int64) int { return hist.OtsuThreshold(h) }
 
 // Threshold returns the binary image with foreground where im's grey level
-// is at least t.
+// is at least t. Malformed images panic; ThresholdErr returns them as
+// errors.
 func Threshold(im *Image, t uint32) *Image {
 	out := NewImage(im.N)
 	for i, v := range im.Pix {
@@ -253,6 +316,14 @@ func Threshold(im *Image, t uint32) *Image {
 		}
 	}
 	return out
+}
+
+// ThresholdErr is Threshold with typed validation of the input image.
+func ThresholdErr(im *Image, t uint32) (*Image, error) {
+	if err := im.Check(); err != nil {
+		return nil, err
+	}
+	return Threshold(im, t), nil
 }
 
 // StageBreakdown is the per-stage simulated time split of a labeling run.
@@ -354,8 +425,15 @@ func (s *Simulator) Census(im *Image, labels *Labels) (*CensusResult, error) {
 }
 
 // Census computes per-component statistics of a labeling over its source
-// image, sorted by decreasing size.
+// image, sorted by decreasing size. Mismatched or malformed inputs panic;
+// CensusErr returns them as errors.
 func Census(l *Labels, im *Image) []ComponentStat { return l.Census(im) }
+
+// CensusErr is Census with typed validation: a malformed image or labeling,
+// or sides that do not match, returns an error instead of panicking.
+func CensusErr(l *Labels, im *Image) ([]ComponentStat, error) {
+	return l.CensusChecked(im)
+}
 
 // Object is a classified component; ObjectClass is its coarse shape class.
 type (
@@ -434,8 +512,25 @@ func HistogramSequential(im *Image, k int) ([]int64, error) { return im.Histogra
 
 // LabelSequential is the single-processor baseline labeling, the paper's
 // row-major BFS algorithm of Section 5.1 applied to the whole image.
+// Malformed inputs panic; LabelSequentialErr returns them as errors.
 func LabelSequential(im *Image, conn Connectivity, mode Mode) *Labels {
 	return seq.LabelBFS(im, conn, mode)
+}
+
+// LabelSequentialErr is LabelSequential with typed validation: a malformed
+// image (including sides beyond MaxSide, which would wrap the 32-bit seed
+// labels), an unknown connectivity or an unknown mode returns an error.
+func LabelSequentialErr(im *Image, conn Connectivity, mode Mode) (*Labels, error) {
+	if err := im.Check(); err != nil {
+		return nil, err
+	}
+	if !conn.Valid() {
+		return nil, errs.Bad("parimg.LabelSequential", "invalid connectivity %d (want 4 or 8)", int(conn))
+	}
+	if mode != Binary && mode != Grey {
+		return nil, errs.Bad("parimg.LabelSequential", "invalid mode %d", int(mode))
+	}
+	return seq.LabelBFS(im, conn, mode), nil
 }
 
 // LabelParallel labels the connected components of im on the host-parallel
@@ -455,6 +550,23 @@ func LabelParallel(im *Image, opt LabelOptions) *Labels {
 		return par.LabelObserved(opt.Metrics, opt.Algo, im, conn, opt.Mode)
 	}
 	return par.LabelWith(opt.Algo, im, conn, opt.Mode)
+}
+
+// LabelParallelErr is LabelParallel with typed validation instead of
+// panics: a malformed image (nil, wrong buffer length, side outside
+// (0, MaxSide]), an unknown connectivity or an unknown mode returns an
+// error from the taxonomy. In particular a side beyond MaxSide returns
+// ErrLabelOverflow — seed labels are 32-bit global indexes, so a larger
+// image would silently wrap and collide labels. Safe for concurrent use.
+func LabelParallelErr(im *Image, opt LabelOptions) (*Labels, error) {
+	conn := opt.Conn
+	if conn == 0 {
+		conn = Conn8
+	}
+	if opt.Metrics != nil {
+		return par.LabelObservedErr(opt.Metrics, opt.Algo, im, conn, opt.Mode)
+	}
+	return par.LabelWithErr(opt.Algo, im, conn, opt.Mode)
 }
 
 // HistogramParallel computes the k-bucket histogram of im on the
