@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-short bench-json fuzz-short experiments examples clean
+.PHONY: all build test race cover bench bench-short bench-json fuzz-short chaos-short experiments examples clean
 
 all: build test
 
@@ -39,6 +39,13 @@ fuzz-short:
 	$(GO) test -fuzz FuzzRunLabelMatchesBFS -fuzztime 30s ./internal/par/
 	$(GO) test -run '^$$' -fuzz FuzzReadPGM -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzPublicAPI -fuzztime 30s .
+
+# Chaos suite under the race detector: injected panics, delays and
+# barrier no-shows, cooperative cancellation, the barrier watchdog, and
+# the goroutine leak checks — across the simulator and host-parallel
+# backends (used by the CI chaos job).
+chaos-short:
+	$(GO) test -race -timeout 5m -run 'Chaos|Injected|Watchdog|RunContext|LabelContext|HistogramContext|Abort|Timeout|Checkpoint' . ./internal/bdm/ ./internal/par/ ./internal/hist/ ./internal/cc/ ./internal/cli/ ./internal/fault/...
 
 # Regenerate the committed experiment artifacts: the captured
 # cmd/experiments output and the phasereport tables in EXPERIMENTS.md

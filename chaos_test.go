@@ -1,0 +1,263 @@
+package parimg
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"parimg/internal/fault"
+	"parimg/internal/fault/leakcheck"
+)
+
+// The chaos matrix: every fault class (panic, delay, no-show, cancel,
+// deadline) against both backends (the bdm simulator and the host-parallel
+// engine). Each cell asserts the documented sentinel and that a subsequent
+// fault-free call is pixel-identical to the sequential reference — injected
+// faults must never corrupt reusable state.
+
+// requireSimCleanAfterFault runs a fault-free Label on the simulator and
+// compares it against the sequential reference.
+func requireSimCleanAfterFault(t *testing.T, sim *Simulator, im *Image) {
+	t.Helper()
+	sim.m.SetFaultInjector(nil)
+	res, err := sim.Label(im, LabelOptions{})
+	if err != nil {
+		t.Fatalf("clean sim run after fault: %v", err)
+	}
+	want := LabelSequential(im, Conn8, Binary)
+	for i := range want.Lab {
+		if res.Labels.Lab[i] != want.Lab[i] {
+			t.Fatalf("pixel %d: sim label %d, want %d after aborted run", i, res.Labels.Lab[i], want.Lab[i])
+		}
+	}
+}
+
+// requireParCleanAfterFault does the same for a host-parallel engine.
+func requireParCleanAfterFault(t *testing.T, eng *ParallelEngine, im *Image) {
+	t.Helper()
+	eng.SetFaultInjector(nil)
+	got, err := LabelParallelErr(im, LabelOptions{})
+	if err != nil {
+		t.Fatalf("clean par run after fault: %v", err)
+	}
+	want := LabelSequential(im, Conn8, Binary)
+	for i := range want.Lab {
+		if got.Lab[i] != want.Lab[i] {
+			t.Fatalf("pixel %d: par label %d, want %d after aborted run", i, got.Lab[i], want.Lab[i])
+		}
+	}
+}
+
+func TestChaosMatrixSimulator(t *testing.T) {
+	leakcheck.Check(t)
+	im := GeneratePattern(DualSpiral, 64)
+	sim, err := NewSimulator(4, CM5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+
+	t.Run("panic", func(t *testing.T) {
+		sim.m.SetFaultInjector(fault.New(1, fault.Panic, 1).At("sync").OnRank(1))
+		_, err := sim.Label(im, LabelOptions{})
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("err = %v, want ErrAborted", err)
+		}
+		var inj *fault.Injected
+		if !errors.As(err, &inj) {
+			t.Fatalf("err %v does not wrap the injected fault", err)
+		}
+		requireSimCleanAfterFault(t, sim, im)
+	})
+
+	t.Run("delay", func(t *testing.T) {
+		// A delay is a perturbation, not a failure: the run must succeed
+		// and the labeling must still be exact.
+		in := fault.New(1, fault.Delay, 1).At("sync").OnRank(0).OnRound(1).
+			WithDelay(2 * time.Millisecond)
+		sim.m.SetFaultInjector(in)
+		res, err := sim.Label(im, LabelOptions{})
+		sim.m.SetFaultInjector(nil)
+		if err != nil {
+			t.Fatalf("delay fault must not fail the run: %v", err)
+		}
+		if in.Injections() == 0 {
+			t.Error("delay fault never fired")
+		}
+		want := LabelSequential(im, Conn8, Binary)
+		for i := range want.Lab {
+			if res.Labels.Lab[i] != want.Lab[i] {
+				t.Fatalf("pixel %d differs under delay fault", i)
+			}
+		}
+	})
+
+	t.Run("no-show", func(t *testing.T) {
+		// A simulated processor that never reaches the barrier is the
+		// watchdog's case: the run must abort with ErrDeadline naming the
+		// missing rank instead of hanging.
+		sim.SetWatchdog(50 * time.Millisecond)
+		defer sim.SetWatchdog(0)
+		sim.m.SetFaultInjector(fault.New(1, fault.NoShow, 1).At("barrier").OnRank(2))
+		_, err := sim.Label(im, LabelOptions{})
+		if !errors.Is(err, ErrDeadline) {
+			t.Fatalf("err = %v, want ErrDeadline from the watchdog", err)
+		}
+		requireSimCleanAfterFault(t, sim, im)
+	})
+
+	t.Run("cancel", func(t *testing.T) {
+		// One long injected delay gives the asynchronous cancel a window
+		// to land mid-run.
+		sim.m.SetFaultInjector(fault.New(1, fault.Delay, 1).
+			At("sync").OnRank(0).OnRound(1).WithDelay(50 * time.Millisecond))
+		ctx, cancel := context.WithCancel(context.Background())
+		timer := time.AfterFunc(5*time.Millisecond, cancel)
+		defer timer.Stop()
+		defer cancel()
+		_, err := sim.LabelContext(ctx, im, LabelOptions{})
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want to match context.Canceled too", err)
+		}
+		requireSimCleanAfterFault(t, sim, im)
+	})
+
+	t.Run("deadline", func(t *testing.T) {
+		sim.m.SetFaultInjector(fault.New(1, fault.Delay, 1).
+			At("sync").OnRank(0).OnRound(1).WithDelay(50 * time.Millisecond))
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		defer cancel()
+		_, err := sim.LabelContext(ctx, im, LabelOptions{})
+		if !errors.Is(err, ErrDeadline) {
+			t.Fatalf("err = %v, want ErrDeadline", err)
+		}
+		var re *RunError
+		if !errors.As(err, &re) || re.After <= 0 {
+			t.Fatalf("err %v lacks a positive After duration", err)
+		}
+		requireSimCleanAfterFault(t, sim, im)
+	})
+}
+
+func TestChaosMatrixParallel(t *testing.T) {
+	leakcheck.Check(t)
+	im := GeneratePattern(DualSpiral, 64)
+
+	t.Run("panic", func(t *testing.T) {
+		eng := NewParallelEngine(4)
+		eng.SetFaultInjector(fault.New(1, fault.Panic, 1).At("strip_label").OnRank(1))
+		out := NewLabels(im.N)
+		_, err := eng.LabelIntoErr(im, Conn8, Binary, out)
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("err = %v, want ErrAborted", err)
+		}
+		var inj *fault.Injected
+		if !errors.As(err, &inj) {
+			t.Fatalf("err %v does not wrap the injected fault", err)
+		}
+		requireParCleanAfterFault(t, eng, im)
+	})
+
+	t.Run("delay", func(t *testing.T) {
+		eng := NewParallelEngine(4)
+		in := fault.New(1, fault.Delay, 1).At("strip_label").OnRank(0).
+			WithDelay(2 * time.Millisecond)
+		eng.SetFaultInjector(in)
+		out := NewLabels(im.N)
+		if _, err := eng.LabelIntoErr(im, Conn8, Binary, out); err != nil {
+			t.Fatalf("delay fault must not fail the run: %v", err)
+		}
+		if in.Injections() == 0 {
+			t.Error("delay fault never fired")
+		}
+		want := LabelSequential(im, Conn8, Binary)
+		for i := range want.Lab {
+			if out.Lab[i] != want.Lab[i] {
+				t.Fatalf("pixel %d differs under delay fault", i)
+			}
+		}
+	})
+
+	t.Run("no-show", func(t *testing.T) {
+		// A parked worker has no barrier watchdog on the host-parallel
+		// backend; the caller's deadline is what releases it.
+		eng := NewParallelEngine(4)
+		eng.SetFaultInjector(fault.New(1, fault.NoShow, 1).At("strip_label").OnRank(2))
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		out := NewLabels(im.N)
+		if _, err := eng.LabelIntoContext(ctx, im, Conn8, Binary, out); !errors.Is(err, ErrDeadline) {
+			t.Fatalf("err = %v, want ErrDeadline", err)
+		}
+		requireParCleanAfterFault(t, eng, im)
+	})
+
+	t.Run("cancel", func(t *testing.T) {
+		eng := NewParallelEngine(4)
+		eng.SetFaultInjector(fault.New(1, fault.Delay, 1).
+			At("strip_label").OnRank(0).WithDelay(50 * time.Millisecond))
+		ctx, cancel := context.WithCancel(context.Background())
+		timer := time.AfterFunc(5*time.Millisecond, cancel)
+		defer timer.Stop()
+		defer cancel()
+		out := NewLabels(im.N)
+		_, err := eng.LabelIntoContext(ctx, im, Conn8, Binary, out)
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+		requireParCleanAfterFault(t, eng, im)
+	})
+
+	t.Run("deadline", func(t *testing.T) {
+		eng := NewParallelEngine(4)
+		eng.SetFaultInjector(fault.New(1, fault.Delay, 1).
+			At("strip_label").OnRank(0).WithDelay(50 * time.Millisecond))
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		defer cancel()
+		out := NewLabels(im.N)
+		_, err := eng.LabelIntoContext(ctx, im, Conn8, Binary, out)
+		if !errors.Is(err, ErrDeadline) {
+			t.Fatalf("err = %v, want ErrDeadline", err)
+		}
+		var re *RunError
+		if !errors.As(err, &re) || re.After <= 0 {
+			t.Fatalf("err %v lacks a positive After duration", err)
+		}
+		requireParCleanAfterFault(t, eng, im)
+	})
+}
+
+// TestLabelContextThroughPublicAPI exercises the package-level context entry
+// points end to end: pre-canceled contexts must fail fast with ErrCanceled
+// on both backends, without running any labeling work.
+func TestLabelContextThroughPublicAPI(t *testing.T) {
+	leakcheck.Check(t)
+	im := GeneratePattern(Cross, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := LabelContext(ctx, im, LabelOptions{}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("LabelContext: err = %v, want ErrCanceled", err)
+	}
+	if _, err := HistogramContext(ctx, RandomGrey(64, 16, 1), 16); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("HistogramContext: err = %v, want ErrCanceled", err)
+	}
+	sim, err := NewSimulator(4, CM5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if _, err := sim.LabelContext(ctx, im, LabelOptions{}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Simulator.LabelContext: err = %v, want ErrCanceled", err)
+	}
+	if _, err := sim.HistogramContext(ctx, RandomGrey(64, 16, 1), 16); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Simulator.HistogramContext: err = %v, want ErrCanceled", err)
+	}
+	// LabelOptions.Context is the same contract spelled as an option.
+	if _, err := LabelParallelErr(im, LabelOptions{Context: ctx}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("LabelParallelErr with canceled Context: err = %v, want ErrCanceled", err)
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"parimg"
 	"parimg/internal/cli"
+	"parimg/internal/errs"
 )
 
 type row struct {
@@ -56,14 +57,21 @@ type report struct {
 	GeomeanRunsOverBFS1W1024 float64 `json:"geomean_runs_over_bfs_1worker_1024"`
 }
 
-func main() {
+func main() { os.Exit(cli.Run("benchjson", run)) }
+
+func run() error {
 	var (
 		out         = flag.String("o", "BENCH_runs.json", "output file")
 		workers     = cli.WorkersFlag(flag.CommandLine)
 		minTime     = flag.Duration("mintime", 200*time.Millisecond, "minimum measuring time per configuration")
 		metricsPath = cli.MetricsFlag(flag.CommandLine)
+		timeout     = cli.TimeoutFlag(flag.CommandLine)
 	)
 	flag.Parse()
+
+	ctx, cancel := cli.TimeoutContext(*timeout)
+	defer cancel()
+	start := time.Now()
 
 	maxW := cli.Workers(*workers)
 	workerCounts := []int{1}
@@ -104,6 +112,12 @@ func main() {
 	rec := parimg.NewMetricsRecorder()
 
 	for _, in := range inputs {
+		// The sequential baseline and the timed loops below run minutes in
+		// total; the per-input check keeps -timeout honest between
+		// configurations, and LabelIntoContext enforces it inside them.
+		if err := ctx.Err(); err != nil {
+			return errs.FromContext("benchjson", time.Since(start), err)
+		}
 		n := in.im.N
 		pix := float64(n * n)
 		want := parimg.LabelSequential(in.im, parimg.Conn8, parimg.Binary)
@@ -140,16 +154,23 @@ func main() {
 		for _, algoName := range []string{"bfs", "runs"} {
 			algo, err := parimg.ParseAlgo(algoName)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			for _, w := range workerCounts {
 				eng := parimg.NewParallelEngine(w)
 				eng.SetAlgo(algo)
 				got := parimg.NewLabels(n)
 				var comps int
+				var runErr error
 				ns := best(*minTime, func() {
-					comps = eng.LabelInto(in.im, parimg.Conn8, parimg.Binary, got)
+					if runErr != nil {
+						return
+					}
+					comps, runErr = eng.LabelIntoContext(ctx, in.im, parimg.Conn8, parimg.Binary, got)
 				})
+				if runErr != nil {
+					return runErr
+				}
 				record("par", algoName, w, ns, got, comps)
 				if *metricsPath != "" {
 					rec.Reset()
@@ -185,29 +206,26 @@ func main() {
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(&rep); err != nil {
-		fatal(err)
+		f.Close()
+		return err
 	}
 	if err := f.Close(); err != nil {
-		fatal(err)
+		return err
 	}
 	if *metricsPath != "" {
 		if err := cli.WriteMetricsList(*metricsPath, metricsDocs); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("wrote %s (%d per-configuration metrics documents)\n", *metricsPath, len(metricsDocs))
 	}
 	fmt.Printf("wrote %s (gomaxprocs=%d, numcpu=%d, geomean runs/bfs @1w/1024 = %.2fx)\n",
 		*out, rep.GoMaxProcs, rep.NumCPU, rep.GeomeanRunsOverBFS1W1024)
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-	os.Exit(1)
+	return nil
 }
 
 // best runs fn repeatedly for at least minTime and returns the fastest

@@ -51,6 +51,7 @@ func run() error {
 		algoName    = cli.AlgoFlag(flag.CommandLine)
 		workers     = cli.WorkersFlag(flag.CommandLine)
 		metricsPath = cli.MetricsFlag(flag.CommandLine)
+		timeout     = cli.TimeoutFlag(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -63,11 +64,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel := cli.TimeoutContext(*timeout)
+	defer cancel()
 	opt0 := parimg.LabelOptions{
 		Conn:               parimg.Connectivity(*conn),
 		DirectDistribution: *direct,
 		NoShadowManager:    *noShadow,
 		FullRelabel:        *fullRelabel,
+		Context:            ctx,
 	}
 	if *grey {
 		opt0.Mode = parimg.Grey
@@ -146,7 +150,7 @@ func runHost(backend string, im *parimg.Image, opt parimg.LabelOptions,
 			eng.SetObserver(rec)
 		}
 		start := time.Now()
-		_, err := eng.LabelIntoErr(im, connOf(opt), opt.Mode, labels)
+		_, err := eng.LabelIntoContext(opt.Context, im, connOf(opt), opt.Mode, labels)
 		elapsed = time.Since(start)
 		if err != nil {
 			return err

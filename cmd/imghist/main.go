@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +47,7 @@ func run() error {
 		backend     = cli.BackendFlag(flag.CommandLine)
 		workers     = cli.WorkersFlag(flag.CommandLine)
 		metricsPath = cli.MetricsFlag(flag.CommandLine)
+		timeout     = cli.TimeoutFlag(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -53,12 +55,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel := cli.TimeoutContext(*timeout)
+	defer cancel()
 	imageName := cli.ImageName(*patternName, *darpa, *inFile)
 	switch *backend {
 	case "sim":
 		// fall through to the simulator below
 	case "par", "seq":
-		return runHost(*backend, im, *k, *workers, *quiet, *metricsPath, imageName)
+		return runHost(ctx, *backend, im, *k, *workers, *quiet, *metricsPath, imageName)
 	default:
 		return fmt.Errorf("unknown backend %q (want sim, par or seq)", *backend)
 	}
@@ -74,7 +78,7 @@ func run() error {
 	if *metricsPath != "" {
 		sim.SetObserver(rec)
 	}
-	res, err := sim.Histogram(im, *k)
+	res, err := sim.HistogramContext(ctx, im, *k)
 	if err != nil {
 		return err
 	}
@@ -110,7 +114,7 @@ func run() error {
 // runHost histograms on the host itself — the parallel engine or the
 // sequential baseline — and reports real wall-clock time instead of the
 // simulator's modeled costs.
-func runHost(backend string, im *parimg.Image, k, workers int, quiet bool,
+func runHost(ctx context.Context, backend string, im *parimg.Image, k, workers int, quiet bool,
 	metricsPath, imageName string) error {
 	var (
 		h   []int64
@@ -124,7 +128,7 @@ func runHost(backend string, im *parimg.Image, k, workers int, quiet bool,
 		if metricsPath != "" {
 			eng.SetObserver(rec)
 		}
-		h, err = eng.Histogram(im, k)
+		h, err = eng.HistogramContext(ctx, im, k)
 	} else {
 		h, err = parimg.HistogramSequential(im, k)
 	}

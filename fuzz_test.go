@@ -2,6 +2,7 @@ package parimg
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -57,6 +58,7 @@ func FuzzPublicAPI(f *testing.F) {
 	f.Add(70000, 2, 256, 4, 1, 1, uint64(9))   // far past the bound
 	f.Add(MaxSide, 1, 2, 8, 0, 2, uint64(3))   // boundary side, header-only
 	f.Add(33, 8, 4, 4, 1, 2, uint64(7))        // odd side, grey mode
+	f.Add(32, 4, 16, 8, 1, 1, uint64(11))      // canceled-context leg, grey mode
 	f.Fuzz(func(t *testing.T, n, p, k, conn, mode, algo int, seed uint64) {
 		var im *Image
 		if n >= 1 && n <= 64 {
@@ -70,6 +72,23 @@ func FuzzPublicAPI(f *testing.F) {
 			Conn: Connectivity(conn),
 			Mode: Mode(mode),
 			Algo: Algo(((algo % 3) + 3) % 3),
+		}
+
+		// Canceled-context leg: however hostile the rest of the input, a
+		// pre-canceled context must yield a typed error — either the
+		// cancellation itself or the input rejection that beat it to the
+		// boundary — and never a panic or a nil-error result.
+		canceledCtx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := LabelContext(canceledCtx, im, opt); err == nil {
+			t.Fatal("LabelContext accepted a pre-canceled context")
+		} else if !errors.Is(err, ErrCanceled) && !errors.Is(err, ErrBadInput) {
+			t.Fatalf("LabelContext(canceled): error %q is outside the taxonomy", err)
+		}
+		if _, err := HistogramContext(canceledCtx, im, k); err == nil {
+			t.Fatal("HistogramContext accepted a pre-canceled context")
+		} else if !errors.Is(err, ErrCanceled) && !errors.Is(err, ErrBadInput) {
+			t.Fatalf("HistogramContext(canceled): error %q is outside the taxonomy", err)
 		}
 
 		seqLabels, seqErr := LabelSequentialErr(im, opt.Conn, opt.Mode)

@@ -1,11 +1,21 @@
 package bdm
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // barrier is a reusable counting barrier for n participants with abort
 // support. The last arriver runs a critical action (clock equalization)
 // while all other participants are parked, which gives that action exclusive
 // access to their state with the necessary happens-before edges.
+//
+// With a stall deadline configured the barrier also runs a watchdog: a
+// timer armed when the first participant of a generation arrives. If the
+// generation does not complete before the deadline, the watchdog reports
+// which ranks arrived and which did not through the onStall callback
+// (which is expected to abort the machine) instead of letting the run
+// deadlock on a processor that never shows up.
 type barrier struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -13,6 +23,13 @@ type barrier struct {
 	count   int
 	gen     uint64
 	aborted bool
+
+	// Watchdog state; inert (and allocation-free per await) when stall
+	// is zero.
+	stall   time.Duration
+	arrived []bool
+	timer   *time.Timer
+	onStall func(arrived, missing []int)
 }
 
 // abortPanic is the sentinel thrown through processor bodies when the SPMD
@@ -25,18 +42,38 @@ func newBarrier(n int) *barrier {
 	return b
 }
 
+// setStall configures (or, with d == 0, disables) the stall watchdog. Must
+// not be called while a run is in flight.
+func (b *barrier) setStall(d time.Duration, onStall func(arrived, missing []int)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stall = d
+	b.onStall = onStall
+	if d > 0 && b.arrived == nil {
+		b.arrived = make([]bool, b.n)
+	}
+}
+
 // await blocks until all n participants have called await for the current
 // generation. The last arriver runs onLast (with the barrier lock held and
-// every other participant parked) before releasing everyone.
-func (b *barrier) await(onLast func()) {
+// every other participant parked) before releasing everyone. rank is the
+// caller's processor rank, used only by the stall watchdog's diagnostics.
+func (b *barrier) await(rank int, onLast func()) {
 	b.mu.Lock()
 	if b.aborted {
 		b.mu.Unlock()
 		panic(abortPanic{})
 	}
 	g := b.gen
+	if b.stall > 0 {
+		if b.count == 0 {
+			b.armWatchdog(g)
+		}
+		b.arrived[rank] = true
+	}
 	b.count++
 	if b.count == b.n {
+		b.disarmWatchdog()
 		if onLast != nil {
 			onLast()
 		}
@@ -56,13 +93,77 @@ func (b *barrier) await(onLast func()) {
 	}
 }
 
+// armWatchdog starts the stall timer for generation g. Caller holds b.mu.
+func (b *barrier) armWatchdog(g uint64) {
+	b.timer = time.AfterFunc(b.stall, func() { b.stalled(g) })
+}
+
+// disarmWatchdog stops the pending stall timer and clears the arrival
+// tracking for the next generation. Caller holds b.mu.
+func (b *barrier) disarmWatchdog() {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if b.stall > 0 {
+		for i := range b.arrived {
+			b.arrived[i] = false
+		}
+	}
+}
+
+// stalled fires when generation g did not complete within the stall
+// deadline. It snapshots the arrival sets and invokes onStall outside the
+// lock (the callback aborts the machine, which re-enters b.abort).
+func (b *barrier) stalled(g uint64) {
+	b.mu.Lock()
+	if b.gen != g || b.aborted || b.count == 0 {
+		// The generation completed (or the run was torn down) between the
+		// timer firing and this callback acquiring the lock.
+		b.mu.Unlock()
+		return
+	}
+	arrived := make([]int, 0, b.count)
+	missing := make([]int, 0, b.n-b.count)
+	for r, ok := range b.arrived {
+		if ok {
+			arrived = append(arrived, r)
+		} else {
+			missing = append(missing, r)
+		}
+	}
+	cb := b.onStall
+	b.mu.Unlock()
+	if cb != nil {
+		cb(arrived, missing)
+	}
+}
+
 // abort releases all parked participants; they panic with abortPanic, which
-// unwinds their bodies back to Run.
+// unwinds their bodies back to Run. noShow parkers are released the same
+// way.
 func (b *barrier) abort() {
 	b.mu.Lock()
 	b.aborted = true
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
 	b.mu.Unlock()
 	b.cond.Broadcast()
+}
+
+// noShow parks the caller until the run is aborted, then unwinds it with
+// abortPanic like any other released waiter. It deliberately does not join
+// the barrier count: to the other participants this rank simply never
+// arrives, which is the fault the stall watchdog exists to catch.
+func (b *barrier) noShow() {
+	b.mu.Lock()
+	for !b.aborted {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	panic(abortPanic{})
 }
 
 // reset restores the barrier for reuse. It must only be called when no
@@ -72,5 +173,12 @@ func (b *barrier) reset() {
 	b.count = 0
 	b.gen++
 	b.aborted = false
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	for i := range b.arrived {
+		b.arrived[i] = false
+	}
 	b.mu.Unlock()
 }

@@ -22,11 +22,15 @@
 package bdm
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"parimg/internal/errs"
+	"parimg/internal/fault"
 	"parimg/internal/obs"
 )
 
@@ -97,8 +101,24 @@ type Machine struct {
 	// communication label at Sync time). nil disables the accounting.
 	observer *obs.Recorder
 
+	// stop is the cooperative cancellation flag: set by abort (and hence
+	// by context cancellation and the barrier watchdog), observed by the
+	// checkpoint in every Sync/Barrier, which unwinds the processor with
+	// abortPanic. One atomic load per checkpoint when no fault is active.
+	stop atomic.Bool
+
+	// injector is the active fault injector (nil disables injection, the
+	// production state). cancelable reports whether the current run has
+	// any teardown path for a no-show fault (context or watchdog); when
+	// it does not, no-show degrades to a panic instead of deadlocking.
+	injector   *fault.Injector
+	cancelable bool
+
+	// stall is the barrier watchdog deadline; zero disables the watchdog.
+	stall time.Duration
+
 	mu     sync.Mutex
-	broken error // first panic observed, wrapped
+	broken error // first abort cause observed (panic, cancel, stall)
 }
 
 // NewMachine creates a machine with p processors and the given cost model.
@@ -162,24 +182,92 @@ func (m *Machine) Cost() CostParams { return m.cost }
 
 // ErrAborted is returned (wrapped) by Run when a processor body panics; the
 // remaining processors are released from any barrier they are blocked on.
-var ErrAborted = fmt.Errorf("bdm: SPMD program aborted")
+// It is the errs.ErrAborted runtime sentinel, so errors.Is matches through
+// either name.
+var ErrAborted = errs.ErrAborted
+
+// SetStallDeadline configures (or, with 0, disables) the barrier watchdog:
+// if some processors reach a barrier and the rest do not arrive within d,
+// the machine aborts the run with an ErrDeadline error naming the ranks
+// that arrived and the ranks that did not, instead of deadlocking. Must not
+// be called while Run is in flight. The watchdog costs nothing when
+// disabled: no timer is armed and no arrival tracking is done.
+func (m *Machine) SetStallDeadline(d time.Duration) {
+	m.stall = d
+	if d <= 0 {
+		m.bar.setStall(0, nil)
+		return
+	}
+	m.bar.setStall(d, func(arrived, missing []int) {
+		m.abort(errs.Deadline("bdm.Barrier", d, nil,
+			"barrier stalled: ranks %v arrived, ranks %v missing", arrived, missing))
+	})
+}
+
+// SetFaultInjector installs (or, with nil, removes) a fault injector that
+// every checkpoint (Sync, Barrier, Checkpoint) consults. Testing only; must
+// not be called while Run is in flight.
+func (m *Machine) SetFaultInjector(in *fault.Injector) { m.injector = in }
 
 // Run executes body once per processor, concurrently, and returns the
 // aggregated execution report. It may be called several times on the same
 // machine; the simulated clocks continue from where the previous Run left
 // them (use Reset to zero them). The p processor bodies run on a persistent
 // pool of p goroutines, started on the first Run and reused by every
-// subsequent one.
+// subsequent one. A Run after an aborted Run starts from a clean barrier
+// generation; only the clocks persist.
 //
 // If any body panics, Run releases the other processors and returns an error
 // wrapping ErrAborted together with the panic value.
 func (m *Machine) Run(body func(*Proc)) (Report, error) {
+	return m.RunContext(context.Background(), body)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is canceled or
+// its deadline expires, every processor unwinds at its next checkpoint
+// (Sync, Barrier, or explicit Checkpoint) and RunContext returns an error
+// wrapping ErrCanceled or ErrDeadline. Cancellation is cooperative — a body
+// that never reaches a checkpoint is not preempted (that is what the
+// barrier watchdog is for).
+func (m *Machine) RunContext(ctx context.Context, body func(*Proc)) (Report, error) {
 	m.workersOn.Do(func() {
 		for i := 0; i < m.p; i++ {
 			go poolWorker(m.jobs)
 		}
 	})
+	// Start clean even if a previous Run on this machine was aborted: the
+	// abort poisoned the barrier and the broken/stop flags, and leaving
+	// them set would fail this run before it does any work.
+	m.mu.Lock()
+	m.broken = nil
+	m.mu.Unlock()
+	m.stop.Store(false)
+	m.bar.reset()
+	for _, p := range m.procs {
+		p.faultSeq = 0
+	}
+	if err := ctx.Err(); err != nil {
+		return Report{}, errs.FromContext("bdm.Run", 0, err)
+	}
 	start := time.Now()
+	m.cancelable = ctx.Done() != nil || m.stall > 0
+	var monitorDone, monitorGone chan struct{}
+	if ctx.Done() != nil {
+		// The monitor translates context expiry into an abort. The run
+		// retires it before returning and waits for it to exit, so no
+		// goroutine outlives RunContext and a late abort cannot poison
+		// the machine's next run.
+		monitorDone = make(chan struct{})
+		monitorGone = make(chan struct{})
+		go func() {
+			defer close(monitorGone)
+			select {
+			case <-ctx.Done():
+				m.abort(errs.FromContext("bdm.Run", time.Since(start), ctx.Err()))
+			case <-monitorDone:
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	wg.Add(m.p)
 	for i := 0; i < m.p; i++ {
@@ -191,7 +279,11 @@ func (m *Machine) Run(body func(*Proc)) (Report, error) {
 					if _, ok := r.(abortPanic); ok {
 						return // secondary unwind; original error already recorded
 					}
-					m.abort(fmt.Errorf("%w: processor %d panicked: %v", ErrAborted, p.rank, r))
+					cause, ok := r.(error)
+					if !ok {
+						cause = fmt.Errorf("panic: %v", r)
+					}
+					m.abort(errs.Aborted("bdm.Run", cause, "processor %d panicked: %v", p.rank, r))
 				}
 			}()
 			body(p)
@@ -199,6 +291,10 @@ func (m *Machine) Run(body func(*Proc)) (Report, error) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	if monitorDone != nil {
+		close(monitorDone)
+		<-monitorGone
+	}
 
 	m.mu.Lock()
 	err := m.broken
@@ -222,19 +318,32 @@ func (m *Machine) Reset() {
 		p.activeEpochWords = 0
 		p.passiveWords.Store(0)
 		p.commLabel = ""
+		p.faultSeq = 0
 	}
 	m.mu.Lock()
 	m.broken = nil
 	m.mu.Unlock()
+	m.stop.Store(false)
 	m.bar.reset()
 }
 
+// abort records the first teardown cause, raises the cooperative stop flag
+// (checkpoints unwind at their next execution), wakes every parked barrier
+// waiter, and marks the observer's metrics as aborted so a failed run still
+// produces a valid, honest metrics document.
 func (m *Machine) abort(err error) {
 	m.mu.Lock()
-	if m.broken == nil {
+	first := m.broken == nil
+	if first {
 		m.broken = err
 	}
 	m.mu.Unlock()
+	m.stop.Store(true)
+	if first {
+		if r := m.observer; r != nil {
+			r.MarkAborted(err.Error())
+		}
+	}
 	m.bar.abort()
 }
 

@@ -1,0 +1,296 @@
+package bdm
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"parimg/internal/errs"
+	"parimg/internal/fault"
+	"parimg/internal/fault/leakcheck"
+)
+
+// TestAbortWakesAllBarrierWaiters is the barrier.await abort-path regression
+// test: when one processor panics, every processor parked at the barrier must
+// be released (the test would otherwise hang), and the run must report the
+// panicking processor's error, not a secondary unwind.
+func TestAbortWakesAllBarrierWaiters(t *testing.T) {
+	leakcheck.Check(t)
+	m := mustMachine(t, 8, testCost)
+	defer m.Close()
+	_, err := m.Run(func(p *Proc) {
+		if p.Rank() == 3 {
+			panic("rank 3 exploded")
+		}
+		// The other seven park here until the abort releases them.
+		p.Barrier()
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if !strings.Contains(err.Error(), "processor 3") {
+		t.Errorf("error %q does not blame processor 3", err)
+	}
+}
+
+// TestRunAfterAbortStartsClean verifies that repeated Machine.Run after an
+// abort starts from a clean barrier generation: no stale aborted flag, no
+// stale stop flag, and a correct result from the clean run.
+func TestRunAfterAbortStartsClean(t *testing.T) {
+	leakcheck.Check(t)
+	m := mustMachine(t, 4, testCost)
+	defer m.Close()
+	for i := 0; i < 3; i++ {
+		_, err := m.Run(func(p *Proc) {
+			p.Barrier()
+			if p.Rank() == 0 {
+				panic("boom")
+			}
+			p.Barrier()
+		})
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("aborted run %d: err = %v, want ErrAborted", i, err)
+		}
+		m.Reset() // zero the meters so the assertion sees this run alone
+		rep, err := m.Run(func(p *Proc) {
+			p.Work(10)
+			p.Barrier()
+		})
+		if err != nil {
+			t.Fatalf("clean run %d after abort: %v", i, err)
+		}
+		if rep.Ops != 40 {
+			t.Fatalf("clean run %d: Ops = %d, want 40", i, rep.Ops)
+		}
+	}
+}
+
+func TestRunContextCancelUnwinds(t *testing.T) {
+	leakcheck.Check(t)
+	m := mustMachine(t, 4, testCost)
+	defer m.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := m.RunContext(ctx, func(p *Proc) {
+		if p.Rank() == 0 {
+			cancel()
+		}
+		// Spin on checkpoints until the abort lands; bounded so a broken
+		// stop flag fails the test instead of hanging it.
+		for i := 0; i < 1_000_000; i++ {
+			p.Checkpoint()
+			time.Sleep(time.Microsecond)
+		}
+		t.Error("checkpoint never observed the cancellation")
+	})
+	if !errors.Is(err, errs.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to match context.Canceled too", err)
+	}
+	var re *errs.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err %T is not a *errs.RunError", err)
+	}
+}
+
+func TestRunContextDeadlineUnwinds(t *testing.T) {
+	leakcheck.Check(t)
+	m := mustMachine(t, 2, testCost)
+	defer m.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := m.RunContext(ctx, func(p *Proc) {
+		for i := 0; i < 1_000_000; i++ {
+			p.Sync()
+			time.Sleep(time.Microsecond)
+		}
+		t.Error("Sync never observed the deadline")
+	})
+	if !errors.Is(err, errs.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want to match context.DeadlineExceeded too", err)
+	}
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	leakcheck.Check(t)
+	m := mustMachine(t, 2, testCost)
+	defer m.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, err := m.RunContext(ctx, func(p *Proc) { ran = true })
+	if !errors.Is(err, errs.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if ran {
+		t.Error("body ran despite pre-canceled context")
+	}
+}
+
+// TestWatchdogNamesMissingRank is the acceptance test for the barrier
+// watchdog: a rank that deliberately never reaches the barrier must not hang
+// the run; within the stall deadline the machine aborts with an ErrDeadline
+// error naming the ranks that arrived and the one that did not.
+func TestWatchdogNamesMissingRank(t *testing.T) {
+	leakcheck.Check(t)
+	m := mustMachine(t, 4, testCost)
+	defer m.Close()
+	m.SetStallDeadline(50 * time.Millisecond)
+	defer m.SetStallDeadline(0)
+	start := time.Now()
+	_, err := m.Run(func(p *Proc) {
+		if p.Rank() == 2 {
+			return // never reaches the barrier
+		}
+		p.Barrier()
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, errs.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "[0 1 3] arrived") || !strings.Contains(msg, "[2] missing") {
+		t.Errorf("diagnostic %q does not name arrived [0 1 3] and missing [2]", msg)
+	}
+	// "Completes within the configured stall deadline": generous slack for
+	// a loaded CI host, but nowhere near a hang.
+	if elapsed > 5*time.Second {
+		t.Errorf("watchdog took %v to fire a 50ms deadline", elapsed)
+	}
+	// The machine must be reusable after a watchdog abort.
+	if _, err := m.Run(func(p *Proc) { p.Barrier() }); err != nil {
+		t.Fatalf("clean run after watchdog abort: %v", err)
+	}
+}
+
+func TestWatchdogDoesNotFireOnHealthyRuns(t *testing.T) {
+	leakcheck.Check(t)
+	m := mustMachine(t, 4, testCost)
+	defer m.Close()
+	m.SetStallDeadline(30 * time.Second)
+	defer m.SetStallDeadline(0)
+	for i := 0; i < 5; i++ {
+		if _, err := m.Run(func(p *Proc) {
+			p.Barrier()
+			p.Work(1)
+			p.Barrier()
+		}); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+}
+
+func TestInjectedPanicAbortsWithTypedError(t *testing.T) {
+	leakcheck.Check(t)
+	m := mustMachine(t, 4, testCost)
+	defer m.Close()
+	in := fault.New(1, fault.Panic, 1).At("sync").OnRank(1).OnRound(1)
+	m.SetFaultInjector(in)
+	defer m.SetFaultInjector(nil)
+	_, err := m.Run(func(p *Proc) {
+		p.Sync()
+		p.Barrier()
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	var inj *fault.Injected
+	if !errors.As(err, &inj) {
+		t.Fatalf("err %v does not wrap the injected fault", err)
+	}
+	if inj.Site.Rank != 1 || inj.Site.Name != "sync" {
+		t.Errorf("fault fired at %v, want sync on rank 1", inj.Site)
+	}
+	if in.Injections() != 1 {
+		t.Errorf("Injections() = %d, want 1", in.Injections())
+	}
+	// Clean run after removing the injector.
+	m.SetFaultInjector(nil)
+	if _, err := m.Run(func(p *Proc) { p.Barrier() }); err != nil {
+		t.Fatalf("clean run after injected panic: %v", err)
+	}
+}
+
+func TestInjectedDelayCompletesRun(t *testing.T) {
+	leakcheck.Check(t)
+	m := mustMachine(t, 2, testCost)
+	defer m.Close()
+	in := fault.New(1, fault.Delay, 1).At("sync").WithDelay(5 * time.Millisecond)
+	m.SetFaultInjector(in)
+	defer m.SetFaultInjector(nil)
+	if _, err := m.Run(func(p *Proc) {
+		p.Sync()
+		p.Barrier()
+	}); err != nil {
+		t.Fatalf("delay fault must not fail the run: %v", err)
+	}
+	if in.Injections() == 0 {
+		t.Error("delay fault never fired")
+	}
+}
+
+// TestInjectedNoShowCaughtByWatchdog plants a no-show at the barrier of one
+// rank: the processor parks without joining the barrier count, the other
+// ranks stall, and the watchdog must report exactly that rank missing.
+func TestInjectedNoShowCaughtByWatchdog(t *testing.T) {
+	leakcheck.Check(t)
+	m := mustMachine(t, 4, testCost)
+	defer m.Close()
+	m.SetStallDeadline(50 * time.Millisecond)
+	defer m.SetStallDeadline(0)
+	in := fault.New(1, fault.NoShow, 1).At("barrier").OnRank(1)
+	m.SetFaultInjector(in)
+	defer m.SetFaultInjector(nil)
+	_, err := m.Run(func(p *Proc) { p.Barrier() })
+	if !errors.Is(err, errs.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline from the watchdog", err)
+	}
+	if !strings.Contains(err.Error(), "[1] missing") {
+		t.Errorf("diagnostic %q does not name rank 1 missing", err)
+	}
+}
+
+// TestInjectedNoShowWithoutTeardownDegradesToPanic: with no watchdog and no
+// context nothing could ever tear a parked processor down, so the injector
+// must degrade the no-show to a labeled panic instead of deadlocking.
+func TestInjectedNoShowWithoutTeardownDegradesToPanic(t *testing.T) {
+	leakcheck.Check(t)
+	m := mustMachine(t, 2, testCost)
+	defer m.Close()
+	in := fault.New(1, fault.NoShow, 1).At("barrier").OnRank(0)
+	m.SetFaultInjector(in)
+	defer m.SetFaultInjector(nil)
+	_, err := m.Run(func(p *Proc) { p.Barrier() })
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if !strings.Contains(err.Error(), "no-show without watchdog or context") {
+		t.Errorf("error %q does not explain the degraded no-show", err)
+	}
+}
+
+// TestCheckpointCostWhenIdle pins the zero-overhead claim: with no injector,
+// no observer and no watchdog, a checkpoint is one atomic load and one nil
+// check — in particular it must not allocate.
+func TestCheckpointCostWhenIdle(t *testing.T) {
+	m := mustMachine(t, 1, testCost)
+	defer m.Close()
+	if _, err := m.Run(func(p *Proc) {
+		allocs := testing.AllocsPerRun(100, func() {
+			for i := 0; i < 100; i++ {
+				p.Checkpoint()
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("idle checkpoints allocated %.1f times per run", allocs)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

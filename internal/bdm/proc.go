@@ -1,6 +1,11 @@
 package bdm
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+
+	"parimg/internal/fault"
+)
 
 // Proc is the per-processor handle passed to the SPMD body. All methods must
 // be called only from the goroutine that owns the Proc, except the passive
@@ -35,6 +40,11 @@ type Proc struct {
 	// flight; Sync attributes its tau and word charges to this label when
 	// the machine has an observer installed.
 	commLabel string
+
+	// faultSeq counts checkpoint executions on this processor within the
+	// current run, giving the fault injector its per-rank round number.
+	// Only advanced while an injector is installed.
+	faultSeq int
 }
 
 // Rank returns this processor's number in 0..P-1.
@@ -61,11 +71,66 @@ func (p *Proc) Work(n int) {
 	p.meter.Ops += int64(n)
 }
 
+// checkpoint is the cooperative cancellation and fault-injection point,
+// executed by every Sync, Barrier and explicit Checkpoint. When the machine
+// has been aborted (panic elsewhere, context expiry, watchdog stall) it
+// unwinds the processor with abortPanic; when a fault injector is installed
+// it lets the injector panic, delay, or park this processor. Cost with no
+// injector: one atomic load and one nil check.
+func (p *Proc) checkpoint(site string) {
+	m := p.m
+	if m.stop.Load() {
+		panic(abortPanic{})
+	}
+	if m.injector != nil {
+		p.inject(site)
+	}
+}
+
+// inject consults the machine's fault injector for this checkpoint
+// execution and carries out its decision.
+func (p *Proc) inject(site string) {
+	p.faultSeq++
+	act := p.m.injector.Decide(fault.Site{Name: site, Rank: p.rank, Round: p.faultSeq})
+	switch act.Class {
+	case fault.Panic:
+		panic(&fault.Injected{Site: fault.Site{Name: site, Rank: p.rank, Round: p.faultSeq}})
+	case fault.Delay:
+		time.Sleep(act.Delay)
+	case fault.NoShow:
+		if !p.m.cancelable {
+			// Nothing — no context, no watchdog — could ever tear this
+			// run down; parking would deadlock the test instead of
+			// exercising it. Degrade to a panic that names the problem.
+			panic(&fault.Injected{Site: fault.Site{Name: site + " (no-show without watchdog or context)",
+				Rank: p.rank, Round: p.faultSeq}})
+		}
+		p.m.bar.noShow()
+	}
+}
+
+// Checkpoint is an explicit cooperative cancellation and fault-injection
+// point. Long local loops that neither Sync nor Barrier (e.g. the rounds of
+// a collective's prefetch schedule) call it so a canceled run unwinds
+// promptly instead of at the next synchronization.
+func (p *Proc) Checkpoint() {
+	site := p.commLabel
+	if site == "" {
+		site = "checkpoint"
+	}
+	p.checkpoint(site)
+}
+
 // Sync completes all outstanding split-phase prefetches, charging the BDM
 // cost tau + m word-times for the batch (m = words outstanding). A Sync with
 // nothing outstanding is free, matching the model's treatment of pipelined
 // prefetch reads. This is the analogue of Split-C's sync().
+//
+// Every Sync is also a cancellation checkpoint — including an empty one —
+// so a canceled machine unwinds its processors at the next Sync no matter
+// whether traffic is outstanding.
 func (p *Proc) Sync() {
+	p.checkpoint("sync")
 	if p.pendingGets == 0 {
 		return
 	}
@@ -110,7 +175,13 @@ func (p *Proc) Pending() (gets int, words int64) {
 func (p *Proc) Barrier() {
 	p.Sync()
 	m := p.m
-	m.bar.await(func() {
+	if m.injector != nil {
+		// A distinct site from Sync's, so a no-show can be planted at
+		// the barrier itself: the processor then parks before joining
+		// the count and the stall watchdog reports it missing.
+		p.inject("barrier")
+	}
+	m.bar.await(p.rank, func() {
 		// Runs on the last arriver with everyone else parked inside
 		// the barrier, so it may touch all meters.
 		m.settleAndEqualize(true)

@@ -36,6 +36,7 @@
 package cc
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -174,6 +175,15 @@ func NewEngine(m *bdm.Machine) *Engine {
 // distribution happens outside the timed region; the returned report covers
 // initialization, merging and the final update, as in the paper.
 func (e *Engine) Run(im *image.Image, opt Options) (*Result, error) {
+	return e.RunContext(context.Background(), im, opt)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is canceled or
+// its deadline expires, every simulated processor unwinds at its next
+// Sync/Barrier checkpoint — merge iterations are bracketed by barriers, so
+// cancellation lands on a merge-round boundary — and the call returns an
+// error wrapping errs.ErrCanceled or errs.ErrDeadline.
+func (e *Engine) RunContext(ctx context.Context, im *image.Image, opt Options) (*Result, error) {
 	if err := opt.normalize(); err != nil {
 		return nil, err
 	}
@@ -198,10 +208,13 @@ func (e *Engine) Run(im *image.Image, opt Options) (*Result, error) {
 	st.prepare(im, opt)
 
 	m.Reset()
-	report, err := m.Run(func(pr *bdm.Proc) {
+	report, err := m.RunContext(ctx, func(pr *bdm.Proc) {
 		st.procMain(pr)
 	})
 	if err != nil {
+		// The state is not returned to the pool: an aborted run leaves
+		// its scratch (labels, hooks, change arrays) in an unknown
+		// intermediate state, and the pool must only hold ready states.
 		return nil, err
 	}
 

@@ -7,20 +7,28 @@
 package cli
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"time"
 
+	"parimg/internal/errs"
 	"parimg/internal/obs"
 )
 
 // Run executes a command body under the commands' failure contract: a
 // returned error prints as a single "name: error" line on stderr and yields
-// exit code 1; a panic escaping fn is recovered into the same one-line form
-// (no goroutine stack trace reaches the user) and also yields 1; success
-// yields 0. Command mains are expected to be exactly
+// exit code 1; a run stopped by -timeout or cancellation (an error wrapping
+// errs.ErrDeadline or errs.ErrCanceled) prints a one-line "timed out after
+// Xs" / "canceled after Xs" message and yields exit code 2, so scripts can
+// tell "the input was bad" from "the work was cut short"; a panic escaping
+// fn is recovered into the same one-line form (no goroutine stack trace
+// reaches the user) and yields 1; success yields 0. Command mains are
+// expected to be exactly
 //
 //	func main() { os.Exit(cli.Run("imgcc", run)) }
 //
@@ -38,10 +46,34 @@ func runTo(stderr io.Writer, name string, fn func() error) (code int) {
 		}
 	}()
 	if err := fn(); err != nil {
+		if msg, ok := cutShortMessage(err); ok {
+			fmt.Fprintf(stderr, "%s: %s\n", name, msg)
+			return 2
+		}
 		fmt.Fprintf(stderr, "%s: %v\n", name, err)
 		return 1
 	}
 	return 0
+}
+
+// cutShortMessage maps a deadline/cancellation error to the one-line exit-2
+// message, dropping the internal operation and cause detail: the user asked
+// for the run to be bounded and it was — how far it got is all that matters.
+func cutShortMessage(err error) (string, bool) {
+	var verb string
+	switch {
+	case errors.Is(err, errs.ErrDeadline):
+		verb = "timed out"
+	case errors.Is(err, errs.ErrCanceled):
+		verb = "canceled"
+	default:
+		return "", false
+	}
+	var re *errs.RunError
+	if errors.As(err, &re) && re.After > 0 {
+		return fmt.Sprintf("%s after %s", verb, re.After.Round(time.Millisecond)), true
+	}
+	return verb, true
 }
 
 // Shared usage strings. Commands must not restate these inline.
@@ -70,6 +102,8 @@ const (
 	MachineUsage = "machine profile: cm5, sp1, sp2, cs2, paragon, ideal"
 	// SeedUsage is the help text of the -seed flag.
 	SeedUsage = "seed for random images"
+	// TimeoutUsage is the help text of the -timeout flag.
+	TimeoutUsage = "abort the run after this duration (e.g. 30s; 0 disables) and exit with code 2"
 )
 
 // WorkersFlag registers the canonical -workers flag on fs: name "workers",
@@ -132,6 +166,21 @@ func MachineFlag(fs *flag.FlagSet) *string {
 // SeedFlag registers the canonical -seed flag (default 1).
 func SeedFlag(fs *flag.FlagSet) *uint64 {
 	return fs.Uint64("seed", 1, SeedUsage)
+}
+
+// TimeoutFlag registers the canonical -timeout flag (default 0, disabled).
+func TimeoutFlag(fs *flag.FlagSet) *time.Duration {
+	return fs.Duration("timeout", 0, TimeoutUsage)
+}
+
+// TimeoutContext resolves a parsed -timeout value into the context bounding
+// the command's runs: a background context when d <= 0 (the flag default),
+// else a context that expires after d. The caller must defer cancel.
+func TimeoutContext(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
 }
 
 // Workers normalizes a parsed -workers value: n <= 0 selects

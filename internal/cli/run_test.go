@@ -2,9 +2,11 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"parimg"
 	"parimg/internal/errs"
@@ -120,5 +122,46 @@ func TestRunCommandFailureModes(t *testing.T) {
 		if strings.Count(out, "\n") != 1 || !strings.HasPrefix(out, "imgcc: ") {
 			t.Errorf("%s: want one-line imgcc stderr message, got %q", c.name, out)
 		}
+	}
+}
+
+// TestRunTimeoutExitCode pins the third leg of the exit-code contract:
+// deadline and cancellation failures exit with code 2 and a one-line
+// human-readable message, distinguishable (for scripts) from the input and
+// internal errors that exit 1.
+func TestRunTimeoutExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"deadline", errs.Deadline("imgcc.label", 1500*time.Millisecond, context.DeadlineExceeded, "run exceeded the -timeout"),
+			"imgcc: timed out after 1.5s\n"},
+		{"canceled", errs.Canceled("imgcc.label", 2*time.Second, "interrupted"),
+			"imgcc: canceled after 2s\n"},
+		{"bare deadline sentinel", errs.ErrDeadline, "imgcc: timed out\n"},
+	}
+	for _, c := range cases {
+		code, out := runCapture(t, "imgcc", func() error { return c.err })
+		if code != 2 {
+			t.Errorf("%s: exit code %d, want 2", c.name, code)
+		}
+		if out != c.want {
+			t.Errorf("%s: stderr %q, want %q", c.name, out, c.want)
+		}
+	}
+	// A real expired context routed through the public API must take the
+	// same path.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code, out := runCapture(t, "imgcc", func() error {
+		_, err := parimg.LabelContext(ctx, parimg.GeneratePattern(parimg.Cross, 64), parimg.LabelOptions{})
+		return err
+	})
+	if code != 2 {
+		t.Errorf("public-API cancellation: exit code %d, want 2", code)
+	}
+	if !strings.HasPrefix(out, "imgcc: canceled") {
+		t.Errorf("public-API cancellation: stderr %q", out)
 	}
 }

@@ -38,6 +38,7 @@ func Gather(p *bdm.Proc, out, in *bdm.Spread[uint32], m, root int) {
 	if p.Rank() == root {
 		local := out.Local(p)
 		for loop := 0; loop < np; loop++ {
+			p.Checkpoint()
 			r := (root + loop) % np
 			bdm.Get(p, local[r*m:(r+1)*m], in, r, 0)
 		}
@@ -62,6 +63,7 @@ func AllToAll(p *bdm.Proc, out, in *bdm.Spread[uint32], m int) {
 	i := p.Rank()
 	local := out.Local(p)
 	for loop := 0; loop < np; loop++ {
+		p.Checkpoint()
 		r := (i + loop) % np
 		bdm.Get(p, local[r*m:(r+1)*m], in, r, i*m)
 	}

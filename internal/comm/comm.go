@@ -50,8 +50,10 @@ func Transpose(p *bdm.Proc, out, in *bdm.Spread[uint32], q int) {
 	local := out.Local(p)
 	// Circular schedule: during iteration loop, processor i prefetches
 	// its block from processor (i+loop) mod p, so no processor is hit by
-	// more than one request per round.
+	// more than one request per round. Each round is a cancellation and
+	// fault-injection checkpoint (attributed to the comm label).
 	for loop := 0; loop < np; loop++ {
+		p.Checkpoint()
 		r := (i + loop) % np
 		bdm.Get(p, local[r*b:(r+1)*b], in, r, i*b)
 	}
@@ -92,6 +94,7 @@ func Broadcast(p *bdm.Proc, buf, scratch *bdm.Spread[uint32], q, root int) {
 	// from processor r's first slot, reconstructing the full q elements.
 	local := buf.Local(p)
 	for loop := 0; loop < np; loop++ {
+		p.Checkpoint()
 		r := (i + loop) % np
 		bdm.Get(p, local[r*b:(r+1)*b], scratch, r, 0)
 	}
@@ -141,6 +144,7 @@ func TruncatedTranspose(p *bdm.Proc, out, in *bdm.Spread[uint32], k int) {
 	if i < k {
 		local := out.Local(p)
 		for loop := 0; loop < np; loop++ {
+			p.Checkpoint()
 			r := (i + loop) % np
 			local[r] = bdm.GetScalar(p, in, r, i)
 		}
@@ -164,6 +168,7 @@ func CollectToZero(p *bdm.Proc, out, in *bdm.Spread[uint32], m int) {
 	if p.Rank() == 0 {
 		local := out.Local(p)
 		for loop := 0; loop < np; loop++ {
+			p.Checkpoint()
 			r := loop % np
 			bdm.Get(p, local[r*m:(r+1)*m], in, r, 0)
 		}
@@ -182,6 +187,7 @@ func AllGather(p *bdm.Proc, out, in *bdm.Spread[uint32], m int) {
 	i := p.Rank()
 	local := out.Local(p)
 	for loop := 0; loop < np; loop++ {
+		p.Checkpoint()
 		r := (i + loop) % np
 		bdm.Get(p, local[r*m:(r+1)*m], in, r, 0)
 	}

@@ -10,15 +10,21 @@
 // violated *internal invariant* (a precondition already validated by the
 // layer above) panics, and every such panic site carries an
 // "Invariant panic:" comment. The bdm runtime additionally converts any
-// panic escaping an SPMD processor body into an error wrapping
-// bdm.ErrAborted, so no panic crosses the public API even if an invariant
-// is wrong.
+// panic escaping an SPMD processor body into an error wrapping ErrAborted,
+// so no panic crosses the public API even if an invariant is wrong.
+//
+// A second family of sentinels — ErrAborted, ErrCanceled, ErrDeadline —
+// describes how an accepted run *ended* rather than what the caller passed
+// in. They are carried by *RunError and deliberately sit outside the
+// ErrBadInput subtree: the same input may succeed on retry.
 package errs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // MaxSide is the largest supported image side. Initial labels are the
@@ -48,6 +54,26 @@ var (
 	// row-major seed labels would wrap the uint32 label space and collide
 	// (or reach the reserved background value 0).
 	ErrLabelOverflow = errors.New("label space overflow")
+)
+
+// Runtime sentinels. Unlike the input taxonomy above these describe how an
+// accepted run *ended*, not what the caller passed in: they are carried by
+// *RunError and are deliberately not under ErrBadInput, because retrying the
+// same input may well succeed.
+var (
+	// ErrAborted marks a run torn down by the runtime itself: a processor
+	// body panicked (or a fault injector made one panic) and the remaining
+	// processors were released from their barriers.
+	ErrAborted = errors.New("execution aborted")
+	// ErrCanceled marks a run stopped because the caller's context was
+	// canceled. errors.Is also matches context.Canceled when the run was
+	// stopped by a canceled context.
+	ErrCanceled = errors.New("execution canceled")
+	// ErrDeadline marks a run stopped by a deadline: either the caller's
+	// context deadline expired (errors.Is also matches
+	// context.DeadlineExceeded) or the barrier watchdog declared the run
+	// stalled.
+	ErrDeadline = errors.New("deadline exceeded")
 )
 
 // InputError is a structured input-validation failure: the operation that
@@ -126,4 +152,96 @@ func LabelOverflow(op string, n int) error {
 // taxonomy kind (an unknown flag value, a malformed file, a bad option).
 func Bad(op, format string, args ...any) error {
 	return &InputError{Op: op, Kind: ErrBadInput, Detail: fmt.Sprintf(format, args...)}
+}
+
+// RunError is a structured runtime failure: the operation that was running,
+// the runtime sentinel describing how it ended, how long it had been running
+// when it was stopped (zero when unknown), a human-readable detail line, and
+// the underlying cause (a recovered panic value wrapped as an error, or the
+// context error that triggered the stop).
+type RunError struct {
+	// Op is the interrupted operation, e.g. "parimg.LabelContext".
+	Op string
+	// Kind is the runtime sentinel: ErrAborted, ErrCanceled or ErrDeadline.
+	Kind error
+	// After is the elapsed wall time when the run was stopped; zero when
+	// the caller did not track it.
+	After time.Duration
+	// Detail describes the specific failure (which rank panicked, which
+	// ranks missed the stalled barrier, ...).
+	Detail string
+	// Cause is the underlying error: context.Canceled,
+	// context.DeadlineExceeded, or the recovered panic value. May be nil.
+	Cause error
+}
+
+// Error formats the failure as "op: detail (kind; after=..)".
+func (e *RunError) Error() string {
+	var b strings.Builder
+	if e.Op != "" {
+		b.WriteString(e.Op)
+		b.WriteString(": ")
+	}
+	b.WriteString(e.Detail)
+	var ctx []string
+	if e.Kind != nil {
+		ctx = append(ctx, e.Kind.Error())
+	}
+	if e.After > 0 {
+		ctx = append(ctx, fmt.Sprintf("after=%v", e.After.Round(time.Millisecond)))
+	}
+	if len(ctx) > 0 {
+		b.WriteString(" (")
+		b.WriteString(strings.Join(ctx, "; "))
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// Unwrap exposes both the runtime sentinel and the underlying cause, so
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled) both
+// match a context-canceled run.
+func (e *RunError) Unwrap() []error {
+	if e.Cause == nil {
+		return []error{e.Kind}
+	}
+	return []error{e.Kind, e.Cause}
+}
+
+// Aborted returns an ErrAborted run error. cause carries the recovered
+// panic value when there is one (pass nil otherwise).
+func Aborted(op string, cause error, format string, args ...any) error {
+	return &RunError{Op: op, Kind: ErrAborted, Cause: cause, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Canceled returns an ErrCanceled run error for a run stopped after the
+// given elapsed time by a canceled context.
+func Canceled(op string, after time.Duration, format string, args ...any) error {
+	return &RunError{Op: op, Kind: ErrCanceled, After: after, Cause: context.Canceled,
+		Detail: fmt.Sprintf(format, args...)}
+}
+
+// Deadline returns an ErrDeadline run error for a run stopped after the
+// given elapsed time by an expired deadline or a stall watchdog. cause is
+// context.DeadlineExceeded for context deadlines, nil for watchdog stalls.
+func Deadline(op string, after time.Duration, cause error, format string, args ...any) error {
+	return &RunError{Op: op, Kind: ErrDeadline, After: after, Cause: cause,
+		Detail: fmt.Sprintf(format, args...)}
+}
+
+// FromContext maps a non-nil context error to the matching run error:
+// context.Canceled to ErrCanceled, context.DeadlineExceeded to ErrDeadline.
+// after is the elapsed run time when the stop was observed.
+func FromContext(op string, after time.Duration, err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return Deadline(op, after, err, "context deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		return Canceled(op, after, "context canceled")
+	default:
+		// Custom context implementations may return other errors; keep
+		// them under ErrCanceled so callers still get a typed sentinel.
+		return &RunError{Op: op, Kind: ErrCanceled, After: after, Cause: err,
+			Detail: "context done: " + err.Error()}
+	}
 }

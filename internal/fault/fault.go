@@ -1,0 +1,192 @@
+// Package fault is a deterministic fault-injection layer for the SPMD
+// simulator (internal/bdm) and the host-parallel engine (internal/par).
+//
+// An Injector decides, at every instrumented checkpoint (a "site"), whether
+// to inject one of three fault classes:
+//
+//   - Panic: the checkpoint panics with an *Injected payload, exercising
+//     the runtime's abort/unwind path exactly like a real bug would.
+//   - Delay: the checkpoint sleeps, exercising watchdogs and deadlines.
+//   - NoShow: the checkpoint never reaches its barrier (it parks until the
+//     run is torn down), exercising the barrier stall watchdog.
+//
+// Decisions are pure functions of (seed, site name, rank, round): rerunning
+// the same program with the same injector reproduces the same fault at the
+// same place, which is what makes chaos tests debuggable. There is no
+// global state and no time- or scheduler-dependent randomness.
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Class enumerates the injectable fault classes.
+type Class int
+
+// The fault classes an Injector can produce. None means "no fault here".
+const (
+	None Class = iota
+	// Panic makes the checkpoint panic with an *Injected payload.
+	Panic
+	// Delay makes the checkpoint sleep for the injector's delay.
+	Delay
+	// NoShow makes the checkpoint park instead of proceeding to its
+	// barrier, until the run is aborted. It requires a watchdog or a
+	// context deadline to tear the run down; the runtime degrades it to a
+	// panic when neither can ever fire.
+	NoShow
+)
+
+// String names the class for diagnostics.
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	case NoShow:
+		return "no-show"
+	default:
+		return fmt.Sprintf("fault.Class(%d)", int(c))
+	}
+}
+
+// Site identifies one checkpoint execution: the instrumented location's
+// name (e.g. "sync", "barrier", "strip_label"), the rank of the processor
+// or worker executing it, and a per-rank monotone round counter so the
+// "third Sync of rank 2" is addressable independently of scheduling.
+type Site struct {
+	Name string
+	Rank int
+	// Round is the per-rank sequence number of this checkpoint execution
+	// within the current run, starting at 1.
+	Round int
+}
+
+// String formats the site as name[rank r, round n].
+func (s Site) String() string {
+	return fmt.Sprintf("%s[rank %d round %d]", s.Name, s.Rank, s.Round)
+}
+
+// Action is the injector's decision for one site execution.
+type Action struct {
+	Class Class
+	// Delay is the sleep duration when Class == Delay.
+	Delay time.Duration
+}
+
+// Injected is the panic payload of an injected panic fault. It implements
+// error so the runtime's recover path wraps it like any other panic cause,
+// and chaos tests can assert the fault they planted is the one reported.
+type Injected struct {
+	Site Site
+}
+
+// Error describes the injected fault and where it fired.
+func (e *Injected) Error() string {
+	return "fault: injected panic at " + e.Site.String()
+}
+
+// Injector decides deterministically which site executions fault. The zero
+// value injects nothing; build real injectors with New and narrow them with
+// the chainable At/OnRank/OnRound setters. Configure before the run starts;
+// Decide is safe for concurrent use once configured.
+type Injector struct {
+	seed  uint64
+	class Class
+	prob  float64
+	delay time.Duration
+	site  string // restrict to this site name; "" matches every site
+	rank  int    // restrict to this rank; -1 matches every rank
+	round int    // restrict to this round; -1 matches every round
+	hits  atomic.Int64
+}
+
+// New returns an injector that fires class with the given probability in
+// [0, 1] at every site execution (narrow it with At/OnRank/OnRound). The
+// seed makes the probabilistic decisions reproducible. Delay faults default
+// to 1ms; override with WithDelay.
+func New(seed uint64, class Class, prob float64) *Injector {
+	return &Injector{seed: seed, class: class, prob: prob, delay: time.Millisecond, rank: -1, round: -1}
+}
+
+// At restricts the injector to sites with the given name and returns it.
+func (in *Injector) At(name string) *Injector {
+	in.site = name
+	return in
+}
+
+// OnRank restricts the injector to one rank and returns it.
+func (in *Injector) OnRank(r int) *Injector {
+	in.rank = r
+	return in
+}
+
+// OnRound restricts the injector to one per-rank round and returns it.
+func (in *Injector) OnRound(r int) *Injector {
+	in.round = r
+	return in
+}
+
+// WithDelay sets the sleep duration for Delay faults and returns the
+// injector.
+func (in *Injector) WithDelay(d time.Duration) *Injector {
+	in.delay = d
+	return in
+}
+
+// Decide returns the action for one site execution. It is deterministic in
+// (seed, s) and safe for concurrent use.
+func (in *Injector) Decide(s Site) Action {
+	if in == nil || in.class == None || in.prob <= 0 {
+		return Action{}
+	}
+	if in.site != "" && in.site != s.Name {
+		return Action{}
+	}
+	if in.rank >= 0 && in.rank != s.Rank {
+		return Action{}
+	}
+	if in.round >= 0 && in.round != s.Round {
+		return Action{}
+	}
+	if in.prob < 1 && siteUniform(in.seed, s) >= in.prob {
+		return Action{}
+	}
+	in.hits.Add(1)
+	return Action{Class: in.class, Delay: in.delay}
+}
+
+// Injections returns how many site executions have faulted so far.
+func (in *Injector) Injections() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.hits.Load()
+}
+
+// siteUniform hashes (seed, site) to a uniform float64 in [0, 1).
+func siteUniform(seed uint64, s Site) float64 {
+	h := seed
+	for i := 0; i < len(s.Name); i++ {
+		h = mix64(h ^ uint64(s.Name[i]))
+	}
+	h = mix64(h ^ uint64(s.Rank))
+	h = mix64(h ^ uint64(s.Round))
+	// 53 high bits give a uniform double in [0, 1).
+	return float64(h>>11) / (1 << 53)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed bijection on
+// uint64, good enough to turn structured site coordinates into independent
+// uniform draws.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,134 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDecideIsDeterministic(t *testing.T) {
+	a := New(42, Panic, 0.3)
+	b := New(42, Panic, 0.3)
+	for rank := 0; rank < 8; rank++ {
+		for round := 1; round <= 50; round++ {
+			s := Site{Name: "sync", Rank: rank, Round: round}
+			if a.Decide(s).Class != b.Decide(s).Class {
+				t.Fatalf("same seed, site %v: decisions differ", s)
+			}
+		}
+	}
+	if a.Injections() != b.Injections() {
+		t.Fatalf("hit counts differ: %d vs %d", a.Injections(), b.Injections())
+	}
+	if a.Injections() == 0 {
+		t.Fatal("prob 0.3 over 400 sites injected nothing")
+	}
+}
+
+func TestDecideSeedChangesDraws(t *testing.T) {
+	a := New(1, Panic, 0.5)
+	b := New(2, Panic, 0.5)
+	same := 0
+	const total = 400
+	for round := 1; round <= total; round++ {
+		s := Site{Name: "sync", Rank: 0, Round: round}
+		if (a.Decide(s).Class != None) == (b.Decide(s).Class != None) {
+			same++
+		}
+	}
+	if same == total {
+		t.Fatal("different seeds made identical decisions at every site")
+	}
+}
+
+func TestProbabilityRate(t *testing.T) {
+	const prob = 0.25
+	in := New(7, Delay, prob)
+	const total = 4000
+	for round := 1; round <= total; round++ {
+		in.Decide(Site{Name: "tally", Rank: round % 16, Round: round})
+	}
+	got := float64(in.Injections()) / total
+	if math.Abs(got-prob) > 0.05 {
+		t.Fatalf("injection rate %.3f, want ~%.2f", got, prob)
+	}
+}
+
+func TestSiteFilters(t *testing.T) {
+	in := New(3, Panic, 1).At("barrier").OnRank(2).OnRound(5)
+	cases := []struct {
+		s    Site
+		want Class
+	}{
+		{Site{"barrier", 2, 5}, Panic},
+		{Site{"sync", 2, 5}, None},
+		{Site{"barrier", 1, 5}, None},
+		{Site{"barrier", 2, 4}, None},
+	}
+	for _, c := range cases {
+		if got := in.Decide(c.s).Class; got != c.want {
+			t.Errorf("Decide(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+	if n := in.Injections(); n != 1 {
+		t.Errorf("Injections() = %d, want 1", n)
+	}
+}
+
+func TestNilAndZeroInjectorsAreInert(t *testing.T) {
+	var nilIn *Injector
+	if got := nilIn.Decide(Site{"sync", 0, 1}); got.Class != None {
+		t.Errorf("nil injector decided %v", got.Class)
+	}
+	if nilIn.Injections() != 0 {
+		t.Error("nil injector counted injections")
+	}
+	var zero Injector
+	if got := zero.Decide(Site{"sync", 0, 1}); got.Class != None {
+		t.Errorf("zero injector decided %v", got.Class)
+	}
+}
+
+func TestDelayConfiguration(t *testing.T) {
+	in := New(1, Delay, 1).WithDelay(42 * time.Millisecond)
+	act := in.Decide(Site{"sync", 0, 1})
+	if act.Class != Delay || act.Delay != 42*time.Millisecond {
+		t.Fatalf("got %+v, want Delay of 42ms", act)
+	}
+}
+
+func TestInjectedErrorNamesSite(t *testing.T) {
+	err := &Injected{Site: Site{Name: "sync", Rank: 3, Round: 7}}
+	msg := err.Error()
+	for _, want := range []string{"injected panic", "sync", "rank 3", "round 7"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		None: "none", Panic: "panic", Delay: "delay", NoShow: "no-show",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+	if got := Class(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown class string %q", got)
+	}
+}
+
+func TestSiteUniformIsUniformish(t *testing.T) {
+	// Coarse sanity: mean of the site hash over many sites is near 0.5.
+	var sum float64
+	const total = 8192
+	for i := 0; i < total; i++ {
+		sum += siteUniform(99, Site{Name: "x", Rank: i & 7, Round: i})
+	}
+	if mean := sum / total; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("mean site hash %.4f, want ~0.5", mean)
+	}
+}

@@ -1,0 +1,125 @@
+// Package leakcheck asserts that a test leaves no goroutines behind. Every
+// abort/cancel path in the runtime promises "typed error, zero leaked
+// goroutines"; wiring Check into a test turns that promise into a failure
+// with a stack dump when a worker survives its Machine or Engine.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check snapshots the live goroutines and registers a cleanup that fails t
+// if, after a grace period, goroutines created during the test are still
+// running. Call it first thing in the test, before creating machines or
+// engines, and make sure the test Closes what it creates.
+//
+// Goroutines are compared by stack identity, not by count, so unrelated
+// tests running in parallel do not trip the check; still, avoid t.Parallel
+// in tests that use it, since a sibling's transient goroutines can be
+// indistinguishable from a leak.
+func Check(t testing.TB) {
+	t.Helper()
+	before := stacks()
+	t.Cleanup(func() {
+		// Finalizer-driven pool shutdown and context monitors need a
+		// moment to drain; poll instead of failing on the first look.
+		deadline := time.Now().Add(5 * time.Second)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n"))
+	})
+}
+
+// stacks returns the header line of every live goroutine's stack, keyed by
+// goroutine ID line, as a set.
+func stacks() map[string]bool {
+	set := make(map[string]bool)
+	for _, g := range dump() {
+		set[head(g)] = true
+	}
+	return set
+}
+
+// leakedSince returns the stacks of goroutines not present in before,
+// excluding runtime-internal helpers that the test framework itself spawns.
+func leakedSince(before map[string]bool) []string {
+	var leaked []string
+	for _, g := range dump() {
+		if before[head(g)] {
+			continue
+		}
+		if ignorable(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// dump splits a full goroutine profile into one string per goroutine.
+func dump() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var gs []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if strings.TrimSpace(g) != "" {
+			gs = append(gs, g)
+		}
+	}
+	return gs
+}
+
+// head returns the goroutine's identity for set membership: its ID (never
+// reused within a process) with the state stripped — the header's state
+// annotation includes a growing wait duration ("[chan receive, 2 minutes]"),
+// so keeping it would make a long-parked worker look new at cleanup time.
+func head(g string) string {
+	line, _, _ := strings.Cut(g, "\n")
+	if id, _, ok := strings.Cut(line, " ["); ok {
+		return id
+	}
+	return line
+}
+
+// ignorable reports goroutines the check must not blame on the test: the
+// testing framework's own machinery and runtime-internal service goroutines.
+func ignorable(g string) bool {
+	for _, pat := range []string{
+		"testing.(*T).Run",   // the test runner itself
+		"testing.tRunner",    // sibling tests
+		"testing.runFuzzing", // fuzz workers
+		"testing.(*F).Fuzz",  // fuzz harness
+		"runtime.gc",         // GC helpers
+		"runtime.ReadTrace",  // execution tracer
+		"created by runtime", // runtime-internal service goroutines
+		"signal.signal_recv", // signal handler
+		"runtime_mcall",      // scheduler internals
+		"GetProfile",         // pprof collectors
+		"os/signal.loop",     // signal loop
+		"runtime/pprof.readProfile",
+	} {
+		if strings.Contains(g, pat) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+package hist
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"parimg/internal/errs"
+	"parimg/internal/fault"
+	"parimg/internal/fault/leakcheck"
+	"parimg/internal/image"
+)
+
+// requireMatchesSequential runs a fault-free histogram on e and checks it
+// against the sequential reference — the "clean call after a fault" half of
+// the chaos contract for the simulated backend.
+func requireMatchesSequential(t *testing.T, e *Engine, im *image.Image, k int) {
+	t.Helper()
+	res, err := e.Run(im, k)
+	if err != nil {
+		t.Fatalf("clean run after fault: %v", err)
+	}
+	want, err := im.Histogram(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.H[i] != want[i] {
+			t.Fatalf("bucket %d: got %d, want %d after aborted run", i, res.H[i], want[i])
+		}
+	}
+}
+
+// TestRunAbortedByInjectedPanic exercises the ErrAborted recover path of
+// hist.Run: a panic inside the SPMD body (here injected at a sync
+// checkpoint, the same recover that guards runProc's invariant panics) must
+// come back as a typed abort, and the engine — whose pooled state is
+// deliberately not returned after an abort — must produce a correct
+// histogram on the next call.
+func TestRunAbortedByInjectedPanic(t *testing.T) {
+	leakcheck.Check(t)
+	const k = 16
+	im := image.RandomGrey(16, k, 1)
+	m := mustMachine(t, 4)
+	defer m.Close()
+	e := NewEngine(m)
+	in := fault.New(1, fault.Panic, 1).At("sync").OnRank(1)
+	m.SetFaultInjector(in)
+	_, err := e.Run(im, k)
+	m.SetFaultInjector(nil)
+	if !errors.Is(err, errs.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	var inj *fault.Injected
+	if !errors.As(err, &inj) {
+		t.Fatalf("err %v does not wrap the injected fault", err)
+	}
+	if inj.Site.Rank != 1 {
+		t.Errorf("fault fired at %v, want rank 1", inj.Site)
+	}
+	requireMatchesSequential(t, e, im, k)
+}
+
+// TestRunAbortedInEveryStage plants the panic at increasing rounds so the
+// abort lands in different stages of the algorithm (tally barrier, the
+// transpose rounds, the final collection) for both the k >= p and k < p
+// layouts; every one must unwind to ErrAborted and leave the engine
+// reusable.
+func TestRunAbortedInEveryStage(t *testing.T) {
+	leakcheck.Check(t)
+	for _, k := range []int{2, 64} { // k < p and k >= p layouts
+		im := image.RandomGrey(16, k, 2)
+		m := mustMachine(t, 4)
+		e := NewEngine(m)
+		for round := 1; round <= 4; round++ {
+			m.SetFaultInjector(fault.New(1, fault.Panic, 1).OnRank(2).OnRound(round))
+			_, err := e.Run(im, k)
+			m.SetFaultInjector(nil)
+			if !errors.Is(err, errs.ErrAborted) {
+				t.Fatalf("k=%d round %d: err = %v, want ErrAborted", k, round, err)
+			}
+			requireMatchesSequential(t, e, im, k)
+		}
+		m.Close()
+	}
+}
+
+// TestRunNaiveAbortedByInjectedPanic covers the same recover path in the
+// naive ablation, whose SPMD body has its own invariant panic.
+func TestRunNaiveAbortedByInjectedPanic(t *testing.T) {
+	leakcheck.Check(t)
+	const k = 8
+	im := image.RandomGrey(16, k, 3)
+	m := mustMachine(t, 4)
+	defer m.Close()
+	m.SetFaultInjector(fault.New(1, fault.Panic, 1).At("barrier").OnRank(3))
+	_, err := RunNaive(m, im, k)
+	m.SetFaultInjector(nil)
+	if !errors.Is(err, errs.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	var inj *fault.Injected
+	if !errors.As(err, &inj) {
+		t.Fatalf("err %v does not wrap the injected fault", err)
+	}
+	// A clean naive run after the abort must still be exact.
+	res, err := RunNaive(m, im, k)
+	if err != nil {
+		t.Fatalf("clean naive run after fault: %v", err)
+	}
+	want, err := im.Histogram(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.H[i] != want[i] {
+			t.Fatalf("bucket %d: got %d, want %d", i, res.H[i], want[i])
+		}
+	}
+}
+
+// TestRunContextDeadlineMidRun forces the deadline to land inside the SPMD
+// region with an injected delay longer than the context timeout.
+func TestRunContextDeadlineMidRun(t *testing.T) {
+	leakcheck.Check(t)
+	const k = 16
+	im := image.RandomGrey(32, k, 4)
+	m := mustMachine(t, 4)
+	defer m.Close()
+	e := NewEngine(m)
+	m.SetFaultInjector(fault.New(1, fault.Delay, 1).
+		At("sync").OnRank(0).WithDelay(50 * time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := e.RunContext(ctx, im, k)
+	m.SetFaultInjector(nil)
+	if !errors.Is(err, errs.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want to match context.DeadlineExceeded too", err)
+	}
+	requireMatchesSequential(t, e, im, k)
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	leakcheck.Check(t)
+	const k = 4
+	im := image.RandomGrey(16, k, 5)
+	m := mustMachine(t, 2)
+	defer m.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewEngine(m).RunContext(ctx, im, k); !errors.Is(err, errs.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}

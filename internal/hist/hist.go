@@ -17,6 +17,7 @@
 package hist
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -100,6 +101,14 @@ func NewEngine(m *bdm.Machine) *Engine {
 // receiving its tile) is performed outside the timed region, as the paper
 // assumes the image is already distributed.
 func (e *Engine) Run(im *image.Image, k int) (*Result, error) {
+	return e.RunContext(context.Background(), im, k)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is canceled or
+// its deadline expires, every simulated processor unwinds at its next
+// Sync/Barrier checkpoint and the call returns an error wrapping
+// errs.ErrCanceled or errs.ErrDeadline.
+func (e *Engine) RunContext(ctx context.Context, im *image.Image, k int) (*Result, error) {
 	if err := checkInput("hist.Run", im, k); err != nil {
 		return nil, err
 	}
@@ -121,10 +130,13 @@ func (e *Engine) Run(im *image.Image, k int) (*Result, error) {
 	}
 
 	m.Reset()
-	report, err := m.Run(func(pr *bdm.Proc) {
+	report, err := m.RunContext(ctx, func(pr *bdm.Proc) {
 		runProc(pr, lay, k, st.tiles, st.local, st.trans, st.combined, st.out)
 	})
 	if err != nil {
+		// The state is not returned to the pool: an aborted run leaves the
+		// spread arrays mid-rearrangement, and the pool must only hold
+		// ready states.
 		return nil, err
 	}
 

@@ -163,6 +163,12 @@ type Metrics struct {
 	SimTimeS  float64 `json:"sim_time_s,omitempty"`
 	CompTimeS float64 `json:"comp_time_s,omitempty"`
 	CommTimeS float64 `json:"comm_time_s,omitempty"`
+	// Aborted carries the teardown cause when the run ended early (a
+	// processor panic, a canceled context, a barrier watchdog stall);
+	// empty for runs that completed. An aborted document is still valid:
+	// the phases recorded before the abort are kept, closed by a
+	// zero-length "aborted" span.
+	Aborted string `json:"aborted,omitempty"`
 	// Phases are the recorded spans, in record order.
 	Phases []Phase `json:"phases,omitempty"`
 	// Counters maps counter names to accumulated values; zero counters
@@ -354,6 +360,7 @@ type Recorder struct {
 	phases    []Phase
 	comm      map[string]*commCell
 	commOrder []string
+	aborted   string
 }
 
 // NewRecorder returns an empty, enabled recorder.
@@ -377,7 +384,39 @@ func (r *Recorder) Reset() {
 	r.phases = r.phases[:0]
 	r.comm = nil
 	r.commOrder = r.commOrder[:0]
+	r.aborted = ""
 	r.mu.Unlock()
+}
+
+// MarkAborted records that the observed run was torn down early and why
+// (reason is the teardown error's message). The first mark wins — later
+// secondary unwinds do not overwrite the original cause — and a zero-length
+// "aborted" span closes the phase stream so readers can see where the run
+// stopped. A no-op on the nil recorder.
+func (r *Recorder) MarkAborted(reason string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.aborted == "" {
+		if reason == "" {
+			reason = "aborted"
+		}
+		r.aborted = reason
+		r.phases = append(r.phases, Phase{Name: "aborted"})
+	}
+	r.mu.Unlock()
+}
+
+// Aborted returns the recorded teardown cause, empty when the observed run
+// completed (always empty on the nil recorder).
+func (r *Recorder) Aborted() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.aborted
 }
 
 // Add accumulates n onto counter c. Safe for concurrent use; a no-op on
@@ -468,6 +507,7 @@ func (r *Recorder) Snapshot() *Metrics {
 		return m
 	}
 	r.mu.Lock()
+	m.Aborted = r.aborted
 	m.Phases = append([]Phase(nil), r.phases...)
 	for _, label := range r.commOrder {
 		cell := r.comm[label]

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 
 	"parimg/internal/errs"
@@ -46,11 +47,24 @@ func (e *Engine) Label(im *image.Image, conn image.Connectivity, mode seq.Mode) 
 // or an unknown mode returns an error from the errs taxonomy instead of
 // panicking or silently wrapping 32-bit seed labels.
 func (e *Engine) LabelErr(im *image.Image, conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
+	return e.LabelContext(nil, im, conn, mode)
+}
+
+// LabelContext is LabelErr with cooperative cancellation: when ctx is
+// canceled or its deadline expires, the workers stop at their next
+// checkpoint (between phases, per merge round, and every few thousand
+// pixels inside the strip loops) and the call returns an error wrapping
+// errs.ErrCanceled or errs.ErrDeadline; no labeling is returned. A nil ctx
+// disables cancellation at no cost.
+func (e *Engine) LabelContext(ctx context.Context, im *image.Image,
+	conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
 	if err := checkLabelInput("par.Label", im, conn, mode); err != nil {
 		return nil, err
 	}
 	out := image.NewLabels(im.N)
-	e.labelInto(im, conn, mode, out, false)
+	if _, err := e.labelInto(ctx, "par.Label", im, conn, mode, out, false); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -71,6 +85,14 @@ func (e *Engine) LabelInto(im *image.Image, conn image.Connectivity, mode seq.Mo
 // checks that out is structurally valid and matches im's side.
 func (e *Engine) LabelIntoErr(im *image.Image, conn image.Connectivity, mode seq.Mode,
 	out *image.Labels) (int, error) {
+	return e.LabelIntoContext(nil, im, conn, mode, out)
+}
+
+// LabelIntoContext is LabelIntoErr with cooperative cancellation; see
+// LabelContext for the error contract. On a run error the contents of out
+// are undefined (partially labeled) — callers must discard them.
+func (e *Engine) LabelIntoContext(ctx context.Context, im *image.Image,
+	conn image.Connectivity, mode seq.Mode, out *image.Labels) (int, error) {
 	if err := checkLabelInput("par.LabelInto", im, conn, mode); err != nil {
 		return 0, err
 	}
@@ -81,7 +103,7 @@ func (e *Engine) LabelIntoErr(im *image.Image, conn image.Connectivity, mode seq
 		return 0, errs.Geometry("par.LabelInto", im.N, 0,
 			"labeling side %d does not match image side %d", out.N, im.N)
 	}
-	return e.labelInto(im, conn, mode, out, true), nil
+	return e.labelInto(ctx, "par.LabelInto", im, conn, mode, out, true)
 }
 
 // labelInto dispatches to the strip algorithm the engine's Algo resolves
@@ -90,12 +112,46 @@ func (e *Engine) LabelIntoErr(im *image.Image, conn image.Connectivity, mode seq
 // seq.LabelBFS; only the strip-internal work differs. The border merge
 // (Phase 2), final update (Phase 3) and union-find cleanup (Phase 4) are
 // shared.
-func (e *Engine) labelInto(im *image.Image, conn image.Connectivity, mode seq.Mode,
-	out *image.Labels, clear bool) int {
-	if e.algo.effective(mode) == AlgoRuns {
-		return e.runLabelInto(im, conn, mode, out, clear)
+//
+// It owns the call's cancellation lifecycle: begin/end bracket the phases,
+// and a run error (worker panic, context expiry, injected fault) comes back
+// as a typed RunError after the scratch has been scrubbed back to its
+// ready state, so the engine is immediately reusable.
+func (e *Engine) labelInto(ctx context.Context, op string, im *image.Image,
+	conn image.Connectivity, mode seq.Mode, out *image.Labels, clear bool) (int, error) {
+	if err := e.begin(op, ctx); err != nil {
+		return 0, err
 	}
-	return e.bfsLabelInto(im, conn, mode, out, clear)
+	defer e.end()
+	flag := e.stopFlag()
+	for i := range e.labelers {
+		e.labelers[i].Stop = flag
+	}
+	for i := range e.runners {
+		e.runners[i].Stop = flag
+	}
+	var comps int
+	if e.algo.effective(mode) == AlgoRuns {
+		comps = e.runLabelInto(im, conn, mode, out, clear)
+	} else {
+		comps = e.bfsLabelInto(im, conn, mode, out, clear)
+	}
+	if err := e.runError(); err != nil {
+		e.scrub()
+		return 0, err
+	}
+	return comps, nil
+}
+
+// scrub restores the engine's scratch to its ready state after an
+// interrupted run. The per-worker dirty lists cannot be trusted (a worker
+// may have panicked after uniting but before publishing its list), so the
+// union-find is wiped wholesale back to the all-zero ready state instead of
+// entry-by-entry. O(n^2), but only ever paid on the error path.
+func (e *Engine) scrub() {
+	for i := range e.uf.parent {
+		e.uf.parent[i] = 0
+	}
 }
 
 func (e *Engine) bfsLabelInto(im *image.Image, conn image.Connectivity, mode seq.Mode,
@@ -126,7 +182,8 @@ func (e *Engine) bfsLabelInto(im *image.Image, conn image.Connectivity, mode seq
 	// labels are globally unique with no coordination, and the strip's
 	// fragment of a component carries the fragment's minimum global index.
 	e.phase("strip_label", func() {
-		parallelDo(W, func(w int) {
+		e.parallelDo(W, func(w int) {
+			e.checkFault("strip_label", w, 1)
 			r0, r1 := stripBounds(w, W, n)
 			lab := out.Lab[r0*n : r1*n]
 			if clear {
@@ -138,20 +195,30 @@ func (e *Engine) bfsLabelInto(im *image.Image, conn image.Connectivity, mode seq
 				func(i, j int) uint32 { return uint32((r0+i)*n+j) + 1 }, lab)
 		})
 	})
+	if e.interrupted() {
+		return 0
+	}
 
 	e.phase("border_merge", func() {
 		e.borderMerge(im, out, conn, mode, W)
 	})
+	if e.interrupted() {
+		return 0
+	}
 
 	// Phase 3 — final update: every pixel's label is replaced by its
 	// set's root, the component's global minimum seed label. Interior
 	// components take the fast path (no parent, one atomic load).
 	e.phase("relabel", func() {
-		parallelDo(W, func(w int) {
+		e.parallelDo(W, func(w int) {
+			e.checkFault("relabel", w, 1)
 			r0, r1 := stripBounds(w, W, n)
 			lab := out.Lab[r0*n : r1*n]
 			var finds, relab int64
 			for i, l := range lab {
+				if i&8191 == 0 && e.cancelable && e.stop.Load() {
+					return
+				}
 				if l == 0 {
 					continue
 				}
@@ -165,6 +232,9 @@ func (e *Engine) bfsLabelInto(im *image.Image, conn image.Connectivity, mode seq
 			e.relab[w] = relab
 		})
 	})
+	if e.interrupted() {
+		return 0
+	}
 
 	return e.finish(W)
 }
@@ -179,7 +249,8 @@ func (e *Engine) borderMerge(im *image.Image, out *image.Labels,
 	conn image.Connectivity, mode seq.Mode, W int) {
 	n := im.N
 	e.uf.reset(n*n + 1)
-	parallelDo(W, func(w int) {
+	e.parallelDo(W, func(w int) {
+		e.checkFault("border_merge", w, 1)
 		e.links[w] = 0
 		if w == 0 {
 			return
@@ -188,6 +259,9 @@ func (e *Engine) borderMerge(im *image.Image, out *image.Labels,
 		dirty := e.dirty[w][:0]
 		top, bot := (c-1)*n, c*n
 		for j := 0; j < n; j++ {
+			if j&1023 == 0 && e.cancelable && e.stop.Load() {
+				break
+			}
 			a := im.Pix[top+j]
 			if a == 0 {
 				continue
@@ -225,7 +299,7 @@ func (e *Engine) borderMerge(im *image.Image, out *image.Labels,
 // the earlier phases.
 func (e *Engine) finish(W int) int {
 	e.phase("cleanup", func() {
-		parallelDo(W, func(w int) {
+		e.parallelDo(W, func(w int) {
 			e.uf.clear(e.dirty[w])
 		})
 	})

@@ -37,7 +37,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"parimg/internal/errs"
+	"parimg/internal/fault"
 	"parimg/internal/image"
 	"parimg/internal/obs"
 	"parimg/internal/seq"
@@ -114,6 +118,19 @@ type Engine struct {
 	relab    []int64          // per-worker pixels rewritten in the final update
 	shards   [][]int64        // per-worker histogram tallies
 	errs     []error          // per-worker tally errors
+
+	// Cancellation and fault-injection state. All of it is inert — one
+	// atomic store and a nil check per call — unless the call carries a
+	// context or the engine has an injector installed.
+	stop       atomic.Bool     // raised by the context monitor or a worker panic
+	cancelable bool            // this run can be interrupted (ctx or injector present)
+	runCtx     context.Context // the active call's context; nil outside context calls
+	runOp      string          // the active call's op name for error reporting
+	t0         time.Time       // context-call start time, for RunError.After
+	monitor    chan struct{}   // retires the context monitor goroutine
+	monGone    chan struct{}   // closed when the monitor goroutine has exited
+	wpanic     []error         // per-worker recovered panic, as ErrAborted run errors
+	fault      *fault.Injector // nil disables fault injection (the production state)
 }
 
 // NewEngine returns an engine with the given number of workers; workers <= 0
@@ -133,6 +150,7 @@ func NewEngine(workers int) *Engine {
 		relab:    make([]int64, workers),
 		shards:   make([][]int64, workers),
 		errs:     make([]error, workers),
+		wpanic:   make([]error, workers),
 	}
 }
 
@@ -144,6 +162,11 @@ func (e *Engine) SetAlgo(a Algo) { e.algo = a }
 
 // Algo returns the engine's configured (not mode-resolved) algorithm.
 func (e *Engine) Algo() Algo { return e.algo }
+
+// SetFaultInjector installs (or, with nil, removes) a fault injector that
+// every phase worker consults at its checkpoints. Testing only; must not be
+// called while a Label/Histogram call is in flight.
+func (e *Engine) SetFaultInjector(in *fault.Injector) { e.fault = in }
 
 // SetObserver installs (or, with nil, removes) the metrics recorder that
 // receives per-phase wall-clock times and operation counters from
@@ -186,9 +209,13 @@ func (e *Engine) phase(name string, fn func()) {
 }
 
 // parallelDo runs fn(0..w-1) on w goroutines and waits for all of them.
-func parallelDo(w int, fn func(int)) {
+// Each worker runs under guard, so a panicking worker (a bug, or an
+// injected fault) is recorded and stops the run instead of crashing the
+// process; parallelDo always returns with every worker goroutine finished,
+// which is what makes the abort path leak-free.
+func (e *Engine) parallelDo(w int, fn func(int)) {
 	if w == 1 {
-		fn(0)
+		e.guard(0, fn)
 		return
 	}
 	var wg sync.WaitGroup
@@ -196,10 +223,162 @@ func parallelDo(w int, fn func(int)) {
 	for i := 0; i < w; i++ {
 		go func(i int) {
 			defer wg.Done()
-			fn(i)
+			e.guard(i, fn)
 		}(i)
 	}
 	wg.Wait()
+}
+
+// guard runs fn(i), converting a panic into a per-worker ErrAborted run
+// error and raising the stop flag so sibling workers bail at their next
+// checkpoint.
+func (e *Engine) guard(i int, fn func(int)) {
+	defer func() {
+		if r := recover(); r != nil {
+			cause, ok := r.(error)
+			if !ok {
+				cause = fmt.Errorf("panic: %v", r)
+			}
+			e.wpanic[i] = errs.Aborted(e.runOp, cause, "worker %d panicked: %v", i, r)
+			e.stop.Store(true)
+		}
+	}()
+	fn(i)
+}
+
+// begin prepares one Label/Histogram call: clears the previous call's
+// cancellation state and, when the call carries a context, starts the
+// monitor goroutine that turns context expiry into the stop flag. Returns
+// the mapped context error if ctx is already done. The nil-context path
+// allocates nothing.
+func (e *Engine) begin(op string, ctx context.Context) error {
+	e.runOp = op
+	for i := range e.wpanic {
+		e.wpanic[i] = nil
+	}
+	e.stop.Store(false)
+	e.cancelable = ctx != nil || e.fault != nil
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return errs.FromContext(op, 0, err)
+	}
+	e.runCtx = ctx
+	e.t0 = time.Now()
+	if done := ctx.Done(); done != nil {
+		e.monitor = make(chan struct{})
+		e.monGone = make(chan struct{})
+		mon, gone := e.monitor, e.monGone
+		stop := &e.stop
+		go func() {
+			defer close(gone)
+			select {
+			case <-done:
+				stop.Store(true)
+			case <-mon:
+			}
+		}()
+	}
+	return nil
+}
+
+// end retires the context monitor started by begin and waits for it to
+// exit: if the context expired as the call was finishing, the monitor may
+// have committed to its stop.Store branch but not executed it yet, and
+// without the join that late store would poison the engine's next call.
+// Always paired with a successful begin; safe when begin started no monitor.
+func (e *Engine) end() {
+	if e.monitor != nil {
+		close(e.monitor)
+		<-e.monGone
+		e.monitor, e.monGone = nil, nil
+	}
+	e.runCtx = nil
+}
+
+// interrupted reports whether the current call should stop: a worker
+// panicked or the stop flag was raised (context expiry or an injected
+// no-show). Called between phases, after parallelDo's barrier, so the
+// wpanic reads are ordered.
+func (e *Engine) interrupted() bool {
+	if e.stop.Load() {
+		return true
+	}
+	for _, err := range e.wpanic {
+		if err != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// runError resolves how an interrupted call failed, in blame order: a
+// worker panic beats a context error (the panic is why the run died even if
+// the context also expired while it was unwinding). Returns nil for clean
+// runs. A non-nil result is also recorded on the observer so an aborted
+// run's metrics say so.
+func (e *Engine) runError() error {
+	var err error
+	for _, werr := range e.wpanic {
+		if werr != nil {
+			err = werr
+			break
+		}
+	}
+	if err == nil && e.runCtx != nil {
+		if cerr := e.runCtx.Err(); cerr != nil {
+			err = errs.FromContext(e.runOp, time.Since(e.t0), cerr)
+		}
+	}
+	if err == nil && e.stop.Load() {
+		// The stop flag without a context error or panic means an
+		// injected no-show was released; report it as an abort.
+		err = errs.Aborted(e.runOp, nil, "run stopped by injected fault")
+	}
+	if err != nil {
+		e.obs.MarkAborted(err.Error())
+	}
+	return err
+}
+
+// checkFault is the fault-injection checkpoint of the host-parallel phase
+// workers: site names the phase, w the worker, round the phase-internal
+// round (1 for single-round phases). One nil check when no injector is
+// installed.
+func (e *Engine) checkFault(site string, w, round int) {
+	if e.fault == nil {
+		return
+	}
+	s := fault.Site{Name: site, Rank: w, Round: round}
+	switch act := e.fault.Decide(s); act.Class {
+	case fault.Panic:
+		panic(&fault.Injected{Site: s})
+	case fault.Delay:
+		time.Sleep(act.Delay)
+	case fault.NoShow:
+		if e.runCtx == nil || e.runCtx.Done() == nil {
+			// Nothing could ever release this worker; parking would
+			// deadlock the test instead of exercising it.
+			s.Name += " (no-show without context)"
+			panic(&fault.Injected{Site: s})
+		}
+		// Sit out until the caller's context tears the run down, like a
+		// stuck worker would; the sibling workers' checkpoints see the
+		// stop flag and unwind.
+		<-e.runCtx.Done()
+		e.stop.Store(true)
+	}
+}
+
+// stopFlag returns the flag strip labelers should poll for cooperative
+// cancellation: the engine's stop flag for interruptible runs, nil (free)
+// otherwise.
+func (e *Engine) stopFlag() *atomic.Bool {
+	if e.cancelable {
+		return &e.stop
+	}
+	return nil
 }
 
 var enginePool = sync.Pool{New: func() any { return NewEngine(0) }}
@@ -263,4 +442,40 @@ func Histogram(im *image.Image, k int) ([]int64, error) {
 	e := enginePool.Get().(*Engine)
 	defer enginePool.Put(e)
 	return e.Histogram(im, k)
+}
+
+// LabelContext is LabelWithErr with cooperative cancellation: when ctx is
+// canceled or its deadline expires, the workers stop at their next
+// checkpoint and the call returns an error wrapping errs.ErrCanceled or
+// errs.ErrDeadline (no partial labeling is returned). Safe for concurrent
+// use.
+func LabelContext(ctx context.Context, algo Algo, im *image.Image,
+	conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
+	e := enginePool.Get().(*Engine)
+	defer enginePool.Put(e)
+	e.SetAlgo(algo)
+	return e.LabelContext(ctx, im, conn, mode)
+}
+
+// LabelObservedContext is LabelContext with a metrics recorder installed for
+// the duration of the call (removed before the pooled engine is returned).
+// On an aborted run the recorder holds the phases that completed plus the
+// aborted marker, so metrics stay valid on failed runs. Safe for concurrent
+// use, with the same recorder-sharing caveat as LabelObserved.
+func LabelObservedContext(ctx context.Context, r *obs.Recorder, algo Algo, im *image.Image,
+	conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
+	e := enginePool.Get().(*Engine)
+	defer enginePool.Put(e)
+	e.SetAlgo(algo)
+	e.SetObserver(r)
+	defer e.SetObserver(nil)
+	return e.LabelContext(ctx, im, conn, mode)
+}
+
+// HistogramContext is Histogram with cooperative cancellation; see
+// LabelContext for the error contract. Safe for concurrent use.
+func HistogramContext(ctx context.Context, im *image.Image, k int) ([]int64, error) {
+	e := enginePool.Get().(*Engine)
+	defer enginePool.Put(e)
+	return e.HistogramContext(ctx, im, k)
 }

@@ -44,29 +44,40 @@ func (e *Engine) runLabelInto(im *image.Image, conn image.Connectivity, mode seq
 	// bitplane and run-labels them: extraction, vertical unites and the
 	// paint pass all happen strip-locally with global seed labels.
 	e.phase("strip_label", func() {
-		parallelDo(W, func(w int) {
+		e.parallelDo(W, func(w int) {
+			e.checkFault("strip_label", w, 1)
 			r0, r1 := stripBounds(w, W, n)
 			e.bp.SetRows(im, r0, r1)
 			e.comps[w] = e.runners[w].LabelStrip(&e.bp, r0, r1-r0, conn, clear,
 				out.Lab[r0*n:r1*n])
 		})
 	})
+	if e.interrupted() {
+		return 0
+	}
 
 	e.phase("border_merge", func() {
 		e.borderMerge(im, out, conn, mode, W)
 	})
+	if e.interrupted() {
+		return 0
+	}
 
 	// Phase 3 — final update over runs: a run is uniformly labeled, so one
 	// find on its painted label and one span rewrite (only when the root
 	// moved) replace the BFS path's per-pixel sweep. Background costs
 	// nothing — it has no runs.
 	e.phase("relabel", func() {
-		parallelDo(W, func(w int) {
+		e.parallelDo(W, func(w int) {
+			e.checkFault("relabel", w, 1)
 			r0, _ := stripBounds(w, W, n)
 			runs := e.runners[w].Runs()
 			rowOff := e.runners[w].RowOffsets()
 			var finds, relab int64
 			for i := 0; i+1 < len(rowOff); i++ {
+				if i&63 == 0 && e.cancelable && e.stop.Load() {
+					return
+				}
 				rowBase := (r0 + i) * n
 				for k := rowOff[i]; k < rowOff[i+1]; k += 2 {
 					s, end := runs[k], runs[k+1]
@@ -83,6 +94,9 @@ func (e *Engine) runLabelInto(im *image.Image, conn image.Connectivity, mode seq
 		})
 	})
 
+	if e.interrupted() {
+		return 0
+	}
 	comps := e.finish(W)
 	if e.obs != nil {
 		var runs int64

@@ -1,6 +1,10 @@
 package seq
 
-import "parimg/internal/image"
+import (
+	"sync/atomic"
+
+	"parimg/internal/image"
+)
 
 // Labeler is a reusable sequential connected-components labeler: it owns the
 // BFS scratch (the traversal queue and an epoch-stamped visited set) so that
@@ -10,6 +14,13 @@ import "parimg/internal/image"
 type Labeler struct {
 	queue   []int32
 	visited Visited
+
+	// Stop, when non-nil, is a cooperative cancellation flag checked
+	// periodically by LabelTile (see TileLabeler): once set, labeling
+	// returns early with partial labels. The host-parallel engine points
+	// every worker's Labeler at its run's stop flag; nil (the default)
+	// costs nothing.
+	Stop *atomic.Bool
 }
 
 // Label labels a whole image like LabelBFS, allocating only the result.
@@ -34,7 +45,7 @@ func (l *Labeler) LabelInto(im *image.Image, conn image.Connectivity, mode Mode,
 // be zeroed by the caller; returns the number of tile components.
 func (l *Labeler) LabelTile(pix []uint32, rows, cols int, conn image.Connectivity, mode Mode,
 	labelAt func(i, j int) uint32, labels []uint32) int {
-	comps, queue := TileLabeler(pix, rows, cols, conn, mode, labelAt, labels, l.queue)
+	comps, queue := TileLabeler(pix, rows, cols, conn, mode, labelAt, labels, l.queue, l.Stop)
 	l.queue = queue
 	return comps
 }

@@ -2,6 +2,7 @@ package seq
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"parimg/internal/image"
 )
@@ -90,6 +91,11 @@ type RunLabeler struct {
 	rowOff []int32 // rowOff[i] = offset into runs of row i's pairs; len rows+1
 	seed   []uint32
 	parent []int32
+
+	// Stop, when non-nil, is a cooperative cancellation flag checked once
+	// per row by LabelStrip: once set, labeling returns early with the
+	// strip partially written. nil (the default) costs nothing.
+	Stop *atomic.Bool
 }
 
 // LabelStrip labels rows [r0, r0+rows) of bp — Binary mode: every set bit
@@ -112,6 +118,10 @@ func (rl *RunLabeler) LabelStrip(bp *image.Bitplane, r0, rows int, conn image.Co
 	unites := 0
 	prevLo := 0
 	for i := 0; i < rows; i++ {
+		if rl.Stop != nil && rl.Stop.Load() {
+			rl.rowOff = append(rl.rowOff, int32(len(rl.runs)))
+			return 0
+		}
 		rl.rowOff = append(rl.rowOff, int32(len(rl.runs)))
 		curLo := len(rl.parent)
 		rl.runs = AppendRuns(bp.Row(r0+i), rl.runs)

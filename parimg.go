@@ -23,7 +23,9 @@
 package parimg
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"parimg/internal/bdm"
 	"parimg/internal/cc"
@@ -65,6 +67,27 @@ var (
 // side, processor count, and grey-level count where relevant. Retrieve it
 // with errors.As.
 type InputError = errs.InputError
+
+// The runtime-failure side of the taxonomy: errors from a run that started
+// and did not finish, as opposed to inputs that were rejected up front.
+// Every such error is a *RunError wrapping exactly one of these sentinels;
+// ErrCanceled and ErrDeadline additionally match context.Canceled and
+// context.DeadlineExceeded under errors.Is.
+var (
+	// ErrAborted marks a run torn down by an internal failure: a processor
+	// or worker panic (including injected faults in the chaos suite).
+	ErrAborted = errs.ErrAborted
+	// ErrCanceled marks a run stopped because its context was canceled.
+	ErrCanceled = errs.ErrCanceled
+	// ErrDeadline marks a run stopped by a context deadline or by the
+	// simulator's barrier-stall watchdog (SetWatchdog).
+	ErrDeadline = errs.ErrDeadline
+)
+
+// RunError is the concrete error type behind the runtime sentinels: it
+// records the failing operation, the matched sentinel, how long the run had
+// been going, and the underlying cause. Retrieve it with errors.As.
+type RunError = errs.RunError
 
 // MaxSide is the largest supported image side. Labels are 32-bit and seed
 // labels are the global row-major index + 1, so MaxSide^2 must stay below
@@ -251,6 +274,12 @@ func NewSimulator(p int, spec MachineSpec) (*Simulator, error) {
 // P returns the number of simulated processors.
 func (s *Simulator) P() int { return s.p }
 
+// Close shuts down the simulator's pooled processor goroutines. It must not
+// be called while a run is in flight. Abandoned simulators are also
+// finalized, so Close is an optional courtesy for tests and long-lived
+// programs that create simulators dynamically.
+func (s *Simulator) Close() { s.m.Close() }
+
 // SetObserver installs (or, with nil, removes) the metrics recorder that
 // receives modeled phase times and per-primitive communication volumes from
 // subsequent runs on this simulator. Must not be called during a run.
@@ -258,6 +287,15 @@ func (s *Simulator) SetObserver(r *MetricsRecorder) { s.m.SetObserver(r) }
 
 // Observer returns the installed metrics recorder (nil when disabled).
 func (s *Simulator) Observer() *MetricsRecorder { return s.m.Observer() }
+
+// SetWatchdog arms (or, with d <= 0, disarms) the barrier-stall watchdog: if
+// any simulated processor waits at a barrier longer than d of wall-clock
+// time while others never arrive, the run aborts with an error wrapping
+// ErrDeadline that names the ranks that arrived and the ranks that are
+// missing, instead of deadlocking. The watchdog is off by default and costs
+// nothing while every processor keeps making progress. Must not be called
+// during a run.
+func (s *Simulator) SetWatchdog(d time.Duration) { s.m.SetStallDeadline(d) }
 
 // HistogramResult is the outcome of a parallel histogramming run.
 type HistogramResult struct {
@@ -271,7 +309,17 @@ type HistogramResult struct {
 // (Section 4 of the paper). k must be a power of two and the image must
 // tile evenly across the processors.
 func (s *Simulator) Histogram(im *Image, k int) (*HistogramResult, error) {
-	res, err := s.hist.Run(im, k)
+	return s.HistogramContext(context.Background(), im, k)
+}
+
+// HistogramContext is Histogram bounded by ctx: on cancellation or deadline
+// expiry the simulated processors unwind at their next checkpoint and the
+// call returns an error wrapping ErrCanceled or ErrDeadline.
+func (s *Simulator) HistogramContext(ctx context.Context, im *Image, k int) (*HistogramResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := s.hist.RunContext(ctx, im, k)
 	if err != nil {
 		return nil, err
 	}
@@ -354,6 +402,13 @@ type LabelOptions struct {
 	// counters. Honored by LabelParallel; Simulator.Label instead uses the
 	// recorder installed with Simulator.SetObserver.
 	Metrics *MetricsRecorder
+	// Context, when non-nil, bounds the run: on cancellation or deadline
+	// expiry the workers (or simulated processors) stop at their next
+	// checkpoint and the call returns an error wrapping ErrCanceled or
+	// ErrDeadline. Honored by the error-returning entry points
+	// (LabelParallelErr, Simulator.Label); LabelParallel has no error path
+	// and ignores it — use LabelContext instead.
+	Context context.Context
 }
 
 // CCResult is the outcome of a parallel connected components run.
@@ -385,7 +440,11 @@ func (s *Simulator) Label(im *Image, opt LabelOptions) (*CCResult, error) {
 	if opt.DirectDistribution {
 		o.ChangeDist = cc.DistDirect
 	}
-	res, err := s.cc.Run(im, o)
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := s.cc.RunContext(ctx, im, o)
 	if err != nil {
 		return nil, err
 	}
@@ -396,6 +455,16 @@ func (s *Simulator) Label(im *Image, opt LabelOptions) (*CCResult, error) {
 		MergePhases: res.Phases,
 		Stages:      res.Stages,
 	}, nil
+}
+
+// LabelContext is Label bounded by ctx (which takes precedence over
+// opt.Context): on cancellation or deadline expiry the simulated processors
+// unwind at their next Sync/Barrier checkpoint — merge iterations are
+// bracketed by barriers, so cancellation lands on a merge-round boundary —
+// and the call returns an error wrapping ErrCanceled or ErrDeadline.
+func (s *Simulator) LabelContext(ctx context.Context, im *Image, opt LabelOptions) (*CCResult, error) {
+	opt.Context = ctx
+	return s.Label(im, opt)
 }
 
 // ComponentStat summarizes one labeled component (area, bounding box,
@@ -563,10 +632,27 @@ func LabelParallelErr(im *Image, opt LabelOptions) (*Labels, error) {
 	if conn == 0 {
 		conn = Conn8
 	}
+	if opt.Context != nil {
+		if opt.Metrics != nil {
+			return par.LabelObservedContext(opt.Context, opt.Metrics, opt.Algo, im, conn, opt.Mode)
+		}
+		return par.LabelContext(opt.Context, opt.Algo, im, conn, opt.Mode)
+	}
 	if opt.Metrics != nil {
 		return par.LabelObservedErr(opt.Metrics, opt.Algo, im, conn, opt.Mode)
 	}
 	return par.LabelWithErr(opt.Algo, im, conn, opt.Mode)
+}
+
+// LabelContext is LabelParallelErr bounded by ctx (which takes precedence
+// over opt.Context): on cancellation or deadline expiry the workers stop at
+// their next checkpoint — between phases, per merge round, and every few
+// thousand pixels inside the strip loops — and the call returns an error
+// wrapping ErrCanceled or ErrDeadline; no partial labeling is returned, and
+// the engine is immediately reusable. Safe for concurrent use.
+func LabelContext(ctx context.Context, im *Image, opt LabelOptions) (*Labels, error) {
+	opt.Context = ctx
+	return LabelParallelErr(im, opt)
 }
 
 // HistogramParallel computes the k-bucket histogram of im on the
@@ -575,6 +661,12 @@ func LabelParallelErr(im *Image, opt LabelOptions) (*Labels, error) {
 // concurrent use.
 func HistogramParallel(im *Image, k int) ([]int64, error) {
 	return par.Histogram(im, k)
+}
+
+// HistogramContext is HistogramParallel bounded by ctx; see LabelContext for
+// the error contract. Safe for concurrent use.
+func HistogramContext(ctx context.Context, im *Image, k int) ([]int64, error) {
+	return par.HistogramContext(ctx, im, k)
 }
 
 // NewParallelEngine returns a host-parallel engine with a fixed worker
