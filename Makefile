@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-short bench-json fuzz-short chaos-short experiments examples clean
+.PHONY: all build test race cover bench bench-short bench-json bench-diff fuzz-short chaos-short experiments examples clean
 
 all: build test
 
@@ -27,16 +27,28 @@ bench:
 bench-short:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Regenerate BENCH_runs.json (backend x algo wall-clock matrix over the
-# full pattern catalog).
+# Regenerate BENCH_runs.json (backend x algo x mode wall-clock matrix over
+# the full pattern catalog plus DARPA, binary and grey).
 bench-json:
 	$(GO) run ./cmd/benchjson
 
-# Quick fuzz pass: the run engine against the sequential BFS reference,
-# the PGM parser on arbitrary bytes, and the whole public API on
-# arbitrary parameters (error-or-correct-result, never a panic).
+# Measure a fresh (fast) matrix and diff it cell-by-cell against the
+# committed BENCH_runs.json; fails on per-cell slowdowns beyond the
+# tolerance, lost cells, or labelings that disagree with the sequential
+# reference. The committed baseline was measured on different hardware, so
+# the default tolerance is generous — see cmd/benchdiff.
+bench-diff:
+	$(GO) run ./cmd/benchjson -mintime 50ms -o /tmp/parimg_bench_new.json
+	$(GO) run ./cmd/benchdiff -new /tmp/parimg_bench_new.json -tolerance 2
+
+# Quick fuzz pass: the run engine against the sequential BFS reference
+# (mixed binary/grey, then a grey-only leg so grey-level boundary cases get
+# undiluted fuzz time), the PGM parser on arbitrary bytes, and the whole
+# public API on arbitrary parameters (error-or-correct-result, never a
+# panic).
 fuzz-short:
-	$(GO) test -fuzz FuzzRunLabelMatchesBFS -fuzztime 30s ./internal/par/
+	$(GO) test -run '^$$' -fuzz FuzzRunLabelMatchesBFS -fuzztime 30s ./internal/par/
+	$(GO) test -run '^$$' -fuzz FuzzGreyRunLabelMatchesBFS -fuzztime 30s ./internal/par/
 	$(GO) test -run '^$$' -fuzz FuzzReadPGM -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzPublicAPI -fuzztime 30s .
 

@@ -1,0 +1,84 @@
+// Command benchdiff compares a freshly measured benchjson report against a
+// committed baseline (default BENCH_runs.json) cell by cell — a cell is one
+// pattern x size x mode x backend x algo x workers configuration — and
+// exits nonzero when any cell slowed down beyond -tolerance, when any cell
+// of the baseline disappeared, or when any new cell's labeling disagreed
+// with the sequential reference. `make bench-diff` measures and diffs in
+// one step.
+//
+// Timing on shared hardware is noisy and the committed baseline was
+// usually measured on a different machine, so the default tolerance is
+// generous (50%); tighten it with -tolerance when baseline and fresh run
+// share a quiet host. Reports written before the grey sweep carry no mode
+// field; those cells are compared as binary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parimg/internal/benchfmt"
+	"parimg/internal/cli"
+	"parimg/internal/errs"
+)
+
+func main() { os.Exit(cli.Run("benchdiff", run)) }
+
+func run() error {
+	var (
+		base      = flag.String("base", "BENCH_runs.json", "baseline benchjson report")
+		fresh     = flag.String("new", "", "freshly measured benchjson report to compare (required)")
+		tolerance = flag.Float64("tolerance", 0.5, "per-cell relative slowdown allowed before a cell counts as a regression")
+		verbose   = flag.Bool("v", false, "print every matched cell, not just regressions")
+	)
+	flag.Parse()
+	if *fresh == "" {
+		return errs.Bad("benchdiff", "missing -new: the report to compare against -base")
+	}
+	if *tolerance < 0 {
+		return errs.Bad("benchdiff", "negative -tolerance %v", *tolerance)
+	}
+
+	baseRep, err := benchfmt.ReadFile(*base)
+	if err != nil {
+		return err
+	}
+	newRep, err := benchfmt.ReadFile(*fresh)
+	if err != nil {
+		return err
+	}
+
+	deltas, onlyBase, onlyNew := benchfmt.Diff(baseRep, newRep, *tolerance)
+
+	bad := 0
+	for _, d := range deltas {
+		if d.Regress {
+			bad++
+			fmt.Printf("REGRESS %-45s %10v -> %10v  (%.2fx, tolerance %.2fx)\n",
+				d.Key, time.Duration(d.BaseNS), time.Duration(d.NewNS), d.Ratio, 1+*tolerance)
+		} else if *verbose {
+			fmt.Printf("ok      %-45s %10v -> %10v  (%.2fx)\n",
+				d.Key, time.Duration(d.BaseNS), time.Duration(d.NewNS), d.Ratio)
+		}
+	}
+	for _, k := range onlyBase {
+		fmt.Printf("MISSING %s (in %s but not in %s)\n", k, *base, *fresh)
+	}
+	for _, k := range onlyNew {
+		fmt.Printf("new     %s (not in baseline)\n", k)
+	}
+	disagree := benchfmt.Disagreements(newRep)
+	for _, k := range disagree {
+		fmt.Printf("WRONG   %s: labeling disagreed with the sequential reference\n", k)
+	}
+
+	fmt.Printf("%d cells compared, %d regressions, %d missing, %d new, %d label disagreements\n",
+		len(deltas), bad, len(onlyBase), len(onlyNew), len(disagree))
+	if bad > 0 || len(onlyBase) > 0 || len(disagree) > 0 {
+		return fmt.Errorf("%d regressions, %d missing cells, %d disagreements vs %s",
+			bad, len(onlyBase), len(disagree), *base)
+	}
+	return nil
+}

@@ -1,21 +1,24 @@
 // Command benchjson measures the wall-clock labeling throughput of every
-// backend x algorithm combination — the sequential BFS baseline and the
-// host-parallel engine running either per-pixel BFS ("bfs") or the
-// run-based two-pass engine ("runs"), at one worker and at GOMAXPROCS —
-// and writes the matrix as JSON (default BENCH_runs.json) for tracking
-// across commits.
+// backend x algorithm x mode combination — the sequential BFS baseline and
+// the host-parallel engine running either per-pixel BFS ("bfs") or the
+// run-based two-pass engine ("runs"), at one worker and at GOMAXPROCS, in
+// binary and in grey connectivity — and writes the matrix as JSON (default
+// BENCH_runs.json) for tracking across commits.
 //
 // Unlike the first-generation harness, which benchmarked only the
 // dual-spiral pattern, every run covers all nine Figure 1 catalog patterns
 // plus the synthetic DARPA scene, so the report reflects worst-case inputs
 // (single-pixel-wide features, dense small components) as well as
-// spiral-friendly ones. Each measurement labels its image repeatedly for
-// at least -mintime and keeps the fastest iteration, the usual go-bench
-// floor of scheduling noise. Every configuration's output is verified
-// pixel-for-pixel against the sequential reference, and the summary
-// records the geometric-mean single-worker speedup of runs over bfs on the
-// 1024^2 catalog patterns. GOMAXPROCS and NumCPU are recorded so a reader
-// can tell a 1-core container from a real multicore host.
+// spiral-friendly ones; each input is labeled in both modes, so the DARPA
+// scene — the paper's flagship grey workload — exercises the grey run
+// extractor over the byte plane, not just binary foreground runs. Each
+// measurement labels its image repeatedly for at least -mintime and keeps
+// the fastest iteration, the usual go-bench floor of scheduling noise.
+// Every configuration's output is verified pixel-for-pixel against the
+// sequential reference, and the summary records the geometric-mean
+// single-worker speedup of runs over bfs on the 1024^2 catalog patterns,
+// per mode. GOMAXPROCS and NumCPU are recorded so a reader can tell a
+// 1-core container from a real multicore host.
 package main
 
 import (
@@ -28,34 +31,10 @@ import (
 	"time"
 
 	"parimg"
+	"parimg/internal/benchfmt"
 	"parimg/internal/cli"
 	"parimg/internal/errs"
 )
-
-type row struct {
-	Pattern      string  `json:"pattern"`
-	N            int     `json:"n"`
-	Backend      string  `json:"backend"` // "seq" or "par"
-	Algo         string  `json:"algo"`    // "bfs" or "runs"
-	Workers      int     `json:"workers"`
-	NS           int64   `json:"ns"`
-	MPixPerS     float64 `json:"mpix_per_s"`
-	Components   int     `json:"components"`
-	LabelsAgreed bool    `json:"labels_identical"`
-}
-
-type report struct {
-	Benchmark  string `json:"benchmark"`
-	GoMaxProcs int    `json:"gomaxprocs"`
-	NumCPU     int    `json:"numcpu"`
-	Conn       string `json:"connectivity"`
-	Mode       string `json:"mode"`
-	MinTimeMS  int64  `json:"mintime_ms"`
-	Rows       []row  `json:"rows"`
-	// GeomeanRunsOverBFS1W1024 is the geometric mean, over the nine
-	// 1024^2 catalog patterns, of bfs_ns / runs_ns at workers=1.
-	GeomeanRunsOverBFS1W1024 float64 `json:"geomean_runs_over_bfs_1worker_1024"`
-}
 
 func main() { os.Exit(cli.Run("benchjson", run)) }
 
@@ -79,12 +58,12 @@ func run() error {
 		workerCounts = append(workerCounts, maxW)
 	}
 
-	rep := report{
-		Benchmark:  "label backend x algo matrix, nine catalog patterns + DARPA, binary",
+	rep := benchfmt.Report{
+		Benchmark:  "label backend x algo x mode matrix, nine catalog patterns + DARPA, binary and grey",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Conn:       parimg.Conn8.String(),
-		Mode:       parimg.Binary.String(),
+		Modes:      parimg.Binary.String() + "," + parimg.Grey.String(),
 		MinTimeMS:  minTime.Milliseconds(),
 	}
 
@@ -100,10 +79,11 @@ func run() error {
 	}
 	inputs = append(inputs, input{"darpa", parimg.DARPAImage()})
 
-	// bfsNS/runsNS collect the workers=1 times of the 1024^2 catalog
-	// patterns for the geometric-mean summary.
-	var logSpeedupSum float64
-	var logSpeedupN int
+	// logSpeedupSum/logSpeedupN accumulate, per mode, the workers=1
+	// log-speedups of the 1024^2 catalog patterns for the geometric-mean
+	// summaries.
+	logSpeedupSum := map[parimg.Mode]float64{}
+	logSpeedupN := map[parimg.Mode]int{}
 
 	// With -metrics, every host-parallel configuration gets one extra
 	// instrumented labeling (outside the timed loop) and the per-phase
@@ -112,96 +92,102 @@ func run() error {
 	rec := parimg.NewMetricsRecorder()
 
 	for _, in := range inputs {
-		// The sequential baseline and the timed loops below run minutes in
-		// total; the per-input check keeps -timeout honest between
-		// configurations, and LabelIntoContext enforces it inside them.
-		if err := ctx.Err(); err != nil {
-			return errs.FromContext("benchjson", time.Since(start), err)
-		}
-		n := in.im.N
-		pix := float64(n * n)
-		want := parimg.LabelSequential(in.im, parimg.Conn8, parimg.Binary)
-
-		record := func(backend, algo string, w int, ns int64, got *parimg.Labels, comps int) {
-			agree := true
-			for i := range want.Lab {
-				if want.Lab[i] != got.Lab[i] {
-					agree = false
-					break
-				}
+		for _, mode := range []parimg.Mode{parimg.Binary, parimg.Grey} {
+			// The sequential baseline and the timed loops below run minutes
+			// in total; the per-input check keeps -timeout honest between
+			// configurations, and LabelIntoContext enforces it inside them.
+			if err := ctx.Err(); err != nil {
+				return errs.FromContext("benchjson", time.Since(start), err)
 			}
-			rep.Rows = append(rep.Rows, row{
-				Pattern: in.name, N: n, Backend: backend, Algo: algo, Workers: w,
-				NS: ns, MPixPerS: pix / (float64(ns) / 1e9) / 1e6,
-				Components: comps, LabelsAgreed: agree,
-			})
-			fmt.Printf("%-18s n=%-5d %-3s %-4s w=%-2d  %10v  %8.1f MPix/s  identical=%v\n",
-				in.name, n, backend, algo, w, time.Duration(ns), pix/(float64(ns)/1e9)/1e6, agree)
-		}
+			n := in.im.N
+			pix := float64(n * n)
+			want := parimg.LabelSequential(in.im, parimg.Conn8, mode)
 
-		// Sequential baseline (backend seq, the paper's Section 5.1 BFS).
-		seqOut := parimg.NewLabels(n)
-		var seqNS int64
-		{
-			var l *parimg.Labels
-			seqNS = best(*minTime, func() { l = parimg.LabelSequential(in.im, parimg.Conn8, parimg.Binary) })
-			copy(seqOut.Lab, l.Lab)
-			record("seq", "bfs", 1, seqNS, seqOut, seqOut.Components())
-		}
-
-		// Host-parallel backend: algo x workers.
-		var bfs1, runs1 int64
-		for _, algoName := range []string{"bfs", "runs"} {
-			algo, err := parimg.ParseAlgo(algoName)
-			if err != nil {
-				return err
-			}
-			for _, w := range workerCounts {
-				eng := parimg.NewParallelEngine(w)
-				eng.SetAlgo(algo)
-				got := parimg.NewLabels(n)
-				var comps int
-				var runErr error
-				ns := best(*minTime, func() {
-					if runErr != nil {
-						return
+			record := func(backend, algo string, w int, ns int64, got *parimg.Labels, comps int) {
+				agree := true
+				for i := range want.Lab {
+					if want.Lab[i] != got.Lab[i] {
+						agree = false
+						break
 					}
-					comps, runErr = eng.LabelIntoContext(ctx, in.im, parimg.Conn8, parimg.Binary, got)
+				}
+				rep.Rows = append(rep.Rows, benchfmt.Row{
+					Pattern: in.name, N: n, Backend: backend, Algo: algo,
+					Mode: mode.String(), Workers: w,
+					NS: ns, MPixPerS: pix / (float64(ns) / 1e9) / 1e6,
+					Components: comps, LabelsAgreed: agree,
 				})
-				if runErr != nil {
-					return runErr
+				fmt.Printf("%-18s n=%-5d %-6s %-3s %-4s w=%-2d  %10v  %8.1f MPix/s  identical=%v\n",
+					in.name, n, mode, backend, algo, w, time.Duration(ns), pix/(float64(ns)/1e9)/1e6, agree)
+			}
+
+			// Sequential baseline (backend seq, the paper's Section 5.1 BFS).
+			seqOut := parimg.NewLabels(n)
+			var seqNS int64
+			{
+				var l *parimg.Labels
+				seqNS = best(*minTime, func() { l = parimg.LabelSequential(in.im, parimg.Conn8, mode) })
+				copy(seqOut.Lab, l.Lab)
+				record("seq", "bfs", 1, seqNS, seqOut, seqOut.Components())
+			}
+
+			// Host-parallel backend: algo x workers.
+			var bfs1, runs1 int64
+			for _, algoName := range []string{"bfs", "runs"} {
+				algo, err := parimg.ParseAlgo(algoName)
+				if err != nil {
+					return err
 				}
-				record("par", algoName, w, ns, got, comps)
-				if *metricsPath != "" {
-					rec.Reset()
-					eng.SetObserver(rec)
-					t0 := time.Now()
-					eng.LabelInto(in.im, parimg.Conn8, parimg.Binary, got)
-					instrNS := time.Since(t0).Nanoseconds()
-					eng.SetObserver(nil)
-					m := rec.Snapshot()
-					m.Command, m.Backend, m.Algo = "benchjson", "par", algoName
-					m.Workers, m.Image, m.N = w, in.name, n
-					m.TotalNS = instrNS
-					metricsDocs = append(metricsDocs, m)
-				}
-				if w == 1 {
-					if algoName == "bfs" {
-						bfs1 = ns
-					} else {
-						runs1 = ns
+				for _, w := range workerCounts {
+					eng := parimg.NewParallelEngine(w)
+					eng.SetAlgo(algo)
+					got := parimg.NewLabels(n)
+					var comps int
+					var runErr error
+					ns := best(*minTime, func() {
+						if runErr != nil {
+							return
+						}
+						comps, runErr = eng.LabelIntoContext(ctx, in.im, parimg.Conn8, mode, got)
+					})
+					if runErr != nil {
+						return runErr
+					}
+					record("par", algoName, w, ns, got, comps)
+					if *metricsPath != "" {
+						rec.Reset()
+						eng.SetObserver(rec)
+						t0 := time.Now()
+						eng.LabelInto(in.im, parimg.Conn8, mode, got)
+						instrNS := time.Since(t0).Nanoseconds()
+						eng.SetObserver(nil)
+						m := rec.Snapshot()
+						m.Command, m.Backend, m.Algo = "benchjson", "par", algoName
+						m.Workers, m.Image, m.N = w, in.name, n
+						m.TotalNS = instrNS
+						metricsDocs = append(metricsDocs, m)
+					}
+					if w == 1 {
+						if algoName == "bfs" {
+							bfs1 = ns
+						} else {
+							runs1 = ns
+						}
 					}
 				}
 			}
-		}
-		if n == 1024 && in.name != "darpa" && bfs1 > 0 && runs1 > 0 {
-			logSpeedupSum += math.Log(float64(bfs1) / float64(runs1))
-			logSpeedupN++
+			if n == 1024 && in.name != "darpa" && bfs1 > 0 && runs1 > 0 {
+				logSpeedupSum[mode] += math.Log(float64(bfs1) / float64(runs1))
+				logSpeedupN[mode]++
+			}
 		}
 	}
 
-	if logSpeedupN > 0 {
-		rep.GeomeanRunsOverBFS1W1024 = math.Exp(logSpeedupSum / float64(logSpeedupN))
+	if n := logSpeedupN[parimg.Binary]; n > 0 {
+		rep.GeomeanRunsOverBFS1W1024 = math.Exp(logSpeedupSum[parimg.Binary] / float64(n))
+	}
+	if n := logSpeedupN[parimg.Grey]; n > 0 {
+		rep.GeomeanGreyRunsOverBFS1W1024 = math.Exp(logSpeedupSum[parimg.Grey] / float64(n))
 	}
 
 	f, err := os.Create(*out)
@@ -223,8 +209,9 @@ func run() error {
 		}
 		fmt.Printf("wrote %s (%d per-configuration metrics documents)\n", *metricsPath, len(metricsDocs))
 	}
-	fmt.Printf("wrote %s (gomaxprocs=%d, numcpu=%d, geomean runs/bfs @1w/1024 = %.2fx)\n",
-		*out, rep.GoMaxProcs, rep.NumCPU, rep.GeomeanRunsOverBFS1W1024)
+	fmt.Printf("wrote %s (gomaxprocs=%d, numcpu=%d, geomean runs/bfs @1w/1024 = %.2fx binary, %.2fx grey)\n",
+		*out, rep.GoMaxProcs, rep.NumCPU,
+		rep.GeomeanRunsOverBFS1W1024, rep.GeomeanGreyRunsOverBFS1W1024)
 	return nil
 }
 

@@ -83,7 +83,7 @@ const (
 	// BackendUsage is the help text of the -backend flag.
 	BackendUsage = "execution backend: sim (BDM simulator), par (host-parallel), seq (sequential)"
 	// AlgoUsage is the help text of the -algo flag.
-	AlgoUsage = "strip labeling algorithm for -backend par: auto, bfs or runs"
+	AlgoUsage = "strip labeling algorithm for -backend par: auto (runs for binary and grey), bfs or runs"
 	// MetricsUsage is the help text of the -metrics flag.
 	MetricsUsage = "write a " + obs.Schema + " JSON metrics document (phase times, counters, comm volume) to this file"
 	// PatternUsage is the help text of the -pattern flag.

@@ -65,8 +65,11 @@ const (
 	// final relabel together).
 	CtrUFFinds
 	// CtrRuns counts maximal foreground runs extracted by the run-based
-	// strip engine.
+	// strip engine in binary mode.
 	CtrRuns
+	// CtrGreyRuns counts maximal equal-grey-level runs (segments)
+	// extracted by the run-based strip engine in grey mode.
+	CtrGreyRuns
 	// CtrRelabeledPixels counts pixels whose label the final update
 	// rewrote (pixels whose strip-local label was not already the root).
 	CtrRelabeledPixels
@@ -87,6 +90,8 @@ func (c Counter) String() string {
 		return "uf_finds"
 	case CtrRuns:
 		return "runs"
+	case CtrGreyRuns:
+		return "grey_runs"
 	case CtrRelabeledPixels:
 		return "relabeled_pixels"
 	}

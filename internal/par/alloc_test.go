@@ -45,16 +45,25 @@ func TestLabelIntoAllocs(t *testing.T) {
 	}
 }
 
-// TestGreyLabelIntoAllocs covers the BFS fallback path under Grey mode.
+// TestGreyLabelIntoAllocs pins the steady-state allocation cost of Grey
+// mode for both strip algorithms: the grey run path (the Algo auto default,
+// byteplane packing plus grey run extraction) and the explicit per-pixel
+// BFS must each stay allocation-free at one worker after warm-up.
 func TestGreyLabelIntoAllocs(t *testing.T) {
 	im := image.RandomGrey(128, 8, 3)
 	out := image.NewLabels(128)
-	e := NewEngine(1)
-	e.LabelInto(im, image.Conn8, seq.Grey, out)
-	avg := testing.AllocsPerRun(10, func() {
-		e.LabelInto(im, image.Conn8, seq.Grey, out)
-	})
-	if avg > allocBudget1W {
-		t.Fatalf("%.1f allocs per grey LabelInto, budget %d", avg, allocBudget1W)
+	for _, algo := range []Algo{AlgoBFS, AlgoRuns} {
+		t.Run(algo.String(), func(t *testing.T) {
+			e := NewEngine(1)
+			e.SetAlgo(algo)
+			e.LabelInto(im, image.Conn8, seq.Grey, out) // warm scratch
+			avg := testing.AllocsPerRun(10, func() {
+				e.LabelInto(im, image.Conn8, seq.Grey, out)
+			})
+			if avg > allocBudget1W {
+				t.Fatalf("%.1f allocs per grey %v LabelInto, budget %d",
+					avg, algo, allocBudget1W)
+			}
+		})
 	}
 }

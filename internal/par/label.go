@@ -107,11 +107,10 @@ func (e *Engine) LabelIntoContext(ctx context.Context, im *image.Image,
 }
 
 // labelInto dispatches to the strip algorithm the engine's Algo resolves
-// to for the mode: the run-based engine for binary images (unless BFS is
-// forced), the per-pixel BFS otherwise. Both produce the exact labeling of
-// seq.LabelBFS; only the strip-internal work differs. The border merge
-// (Phase 2), final update (Phase 3) and union-find cleanup (Phase 4) are
-// shared.
+// to: the run-based engine for both binary and grey images (unless BFS is
+// forced). Both produce the exact labeling of seq.LabelBFS; only the
+// strip-internal work differs. The border merge (Phase 2), final update
+// (Phase 3) and union-find cleanup (Phase 4) are shared.
 //
 // It owns the call's cancellation lifecycle: begin/end bracket the phases,
 // and a run error (worker panic, context expiry, injected fault) comes back
@@ -131,7 +130,7 @@ func (e *Engine) labelInto(ctx context.Context, op string, im *image.Image,
 		e.runners[i].Stop = flag
 	}
 	var comps int
-	if e.algo.effective(mode) == AlgoRuns {
+	if e.algo.effective() == AlgoRuns {
 		comps = e.runLabelInto(im, conn, mode, out, clear)
 	} else {
 		comps = e.bfsLabelInto(im, conn, mode, out, clear)

@@ -69,6 +69,30 @@ func TestLabelRecordsPhasesAndCounters(t *testing.T) {
 	}
 }
 
+// TestGreyLabelCountsGreyRuns verifies the grey run engine tallies its
+// extracted runs under the dedicated grey_runs counter — distinct from the
+// binary runs counter, so a metrics reader can tell which extractor ran —
+// and that the binary counter stays untouched in Grey mode.
+func TestGreyLabelCountsGreyRuns(t *testing.T) {
+	im := image.RandomGrey(64, 8, 5)
+	out := image.NewLabels(64)
+	for _, w := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			e := NewEngine(w)
+			r := obs.NewRecorder()
+			e.SetObserver(r)
+			e.LabelInto(im, image.Conn8, seq.Grey, out)
+			m := r.Snapshot()
+			if m.Counters["grey_runs"] == 0 {
+				t.Errorf("grey_runs not counted: %+v", m.Counters)
+			}
+			if m.Counters["runs"] != 0 {
+				t.Errorf("binary runs counter hit in grey mode: %+v", m.Counters)
+			}
+		})
+	}
+}
+
 // TestHistogramRecordsPhases covers the histogram phase marks.
 func TestHistogramRecordsPhases(t *testing.T) {
 	im := image.RandomGrey(64, 16, 7)

@@ -51,16 +51,18 @@ import (
 type Algo int
 
 const (
-	// AlgoAuto picks the fastest correct algorithm for the mode: the
-	// run-based engine for Binary, the BFS engine for Grey (the run table
-	// carries no colors, so δ/grey connectivity needs the BFS path).
+	// AlgoAuto picks the fastest correct algorithm: the run-based engine
+	// for both Binary and Grey mode (grey images are scanned into maximal
+	// equal-grey-level runs that carry their grey value through the
+	// vertical unites).
 	AlgoAuto Algo = iota
 	// AlgoBFS forces the paper's per-pixel row-major BFS (Section 5.1).
 	AlgoBFS
-	// AlgoRuns forces the run-based two-pass engine (bit-packed rows,
-	// word-at-a-time run extraction, union-find over runs, span paints).
-	// Grey mode still falls back to BFS — the output contract is exact
-	// equality with seq.LabelBFS in every case.
+	// AlgoRuns forces the run-based two-pass engine (packed rows,
+	// word-at-a-time run extraction, union-find over runs, span paints) —
+	// binary foreground runs over the bit plane, equal-grey-level runs
+	// over the byte plane. The output contract is exact equality with
+	// seq.LabelBFS in every case.
 	AlgoRuns
 )
 
@@ -77,7 +79,8 @@ func (a Algo) String() string {
 	return fmt.Sprintf("Algo(%d)", int(a))
 }
 
-// ParseAlgo resolves an -algo flag value: "auto", "bfs" or "runs".
+// ParseAlgo resolves an -algo flag value: "auto" (the run engine, for
+// binary and grey images alike), "bfs" or "runs".
 func ParseAlgo(s string) (Algo, error) {
 	switch s {
 	case "auto", "":
@@ -90,11 +93,12 @@ func ParseAlgo(s string) (Algo, error) {
 	return 0, fmt.Errorf("par: unknown algorithm %q (want auto, bfs or runs)", s)
 }
 
-// effective returns the algorithm actually executed for a mode: the run
-// engine is binary-only, so Grey always resolves to BFS, and Auto resolves
-// to runs for Binary.
-func (a Algo) effective(mode seq.Mode) Algo {
-	if mode == seq.Grey || a == AlgoBFS {
+// effective returns the algorithm actually executed: the run engine
+// handles both Binary and Grey mode (grey runs carry their grey level), so
+// Auto resolves to runs everywhere and only an explicit AlgoBFS selects
+// the per-pixel BFS path.
+func (a Algo) effective() Algo {
+	if a == AlgoBFS {
 		return AlgoBFS
 	}
 	return AlgoRuns
@@ -110,6 +114,7 @@ type Engine struct {
 	labelers []seq.Labeler    // per-worker BFS scratch
 	runners  []seq.RunLabeler // per-worker run-engine scratch
 	bp       image.Bitplane   // shared bit-packed plane (strips filled per worker)
+	bytep    image.Byteplane  // shared byte-packed grey plane (strips filled per worker)
 	uf       cuf              // border-merge union-find (labels -> roots)
 	dirty    [][]uint32       // per-worker union-find entries to clear
 	comps    []int            // per-worker strip component counts

@@ -41,35 +41,31 @@ func TestRunLabelMatchesSequentialDARPA(t *testing.T) {
 	}
 }
 
-// TestAlgoDispatch pins the mode resolution table: Auto and Runs run the
-// run engine for Binary; Grey always resolves to BFS (the run table
-// carries no colors); BFS is never overridden.
+// TestAlgoDispatch pins the resolution table: Auto resolves to the run
+// engine for every mode — the grey run extractor retired the BFS fallback
+// — and only an explicit BFS choice selects the per-pixel path.
 func TestAlgoDispatch(t *testing.T) {
 	cases := []struct {
 		algo Algo
-		mode seq.Mode
 		want Algo
 	}{
-		{AlgoAuto, seq.Binary, AlgoRuns},
-		{AlgoAuto, seq.Grey, AlgoBFS},
-		{AlgoBFS, seq.Binary, AlgoBFS},
-		{AlgoBFS, seq.Grey, AlgoBFS},
-		{AlgoRuns, seq.Binary, AlgoRuns},
-		{AlgoRuns, seq.Grey, AlgoBFS},
+		{AlgoAuto, AlgoRuns},
+		{AlgoBFS, AlgoBFS},
+		{AlgoRuns, AlgoRuns},
 	}
 	for _, c := range cases {
-		if got := c.algo.effective(c.mode); got != c.want {
-			t.Errorf("%v.effective(%v) = %v, want %v", c.algo, c.mode, got, c.want)
+		if got := c.algo.effective(); got != c.want {
+			t.Errorf("%v.effective() = %v, want %v", c.algo, got, c.want)
 		}
 	}
 }
 
-// TestGreyFallsBackToBFS proves the fallback behaviorally: forcing
-// AlgoRuns on a grey image must still produce the grey BFS labeling. The
-// run engine would merge differently-colored touching components (it only
-// sees foreground bits), so correct grey output is only possible via the
-// BFS path.
-func TestGreyFallsBackToBFS(t *testing.T) {
+// TestGreyRunsMatchesBFS proves the grey run engine behaviorally: touching
+// bars of different colors are one binary component but two grey
+// components, so correct grey output requires the run table to carry grey
+// values through the vertical unites — and the result must still be the
+// exact grey BFS labeling.
+func TestGreyRunsMatchesBFS(t *testing.T) {
 	// Two touching bars of different colors: one binary component but two
 	// grey components.
 	im := image.New(8)
@@ -77,20 +73,77 @@ func TestGreyFallsBackToBFS(t *testing.T) {
 		im.Set(i, 2, 1)
 		im.Set(i, 3, 2)
 	}
-	e := NewEngine(3)
-	e.SetAlgo(AlgoRuns)
-	got := e.Label(im, image.Conn8, seq.Grey)
-	want := seq.LabelBFS(im, image.Conn8, seq.Grey)
-	requireIdentical(t, got, want, "grey fallback")
-	if c := got.Components(); c != 2 {
-		t.Fatalf("grey labeling found %d components, want 2", c)
+	for _, algo := range []Algo{AlgoAuto, AlgoRuns} {
+		e := NewEngine(3)
+		e.SetAlgo(algo)
+		got := e.Label(im, image.Conn8, seq.Grey)
+		want := seq.LabelBFS(im, image.Conn8, seq.Grey)
+		requireIdentical(t, got, want, fmt.Sprintf("grey runs %v", algo))
+		if c := got.Components(); c != 2 {
+			t.Fatalf("grey labeling found %d components, want 2", c)
+		}
 	}
+}
 
-	// And the full DARPA scene, the acceptance case.
-	darpa := image.DARPASynthetic()
-	wantD := seq.LabelBFS(darpa, image.Conn8, seq.Grey)
-	gotD := e.Label(darpa, image.Conn8, seq.Grey)
-	requireIdentical(t, gotD, wantD, "grey fallback darpa")
+// TestGreyRunsMatchesSequentialDARPA checks the grey run engine on the
+// DARPA benchmark scene — the paper's flagship grey workload and the
+// acceptance case for retiring the BFS fallback — under Algo auto, both
+// connectivities, several worker counts, exact array compare.
+func TestGreyRunsMatchesSequentialDARPA(t *testing.T) {
+	im := image.DARPASynthetic()
+	for _, conn := range []image.Connectivity{image.Conn4, image.Conn8} {
+		want := seq.LabelBFS(im, conn, seq.Grey)
+		for _, w := range []int{1, 3, 8} {
+			e := NewEngine(w)
+			got := e.Label(im, conn, seq.Grey)
+			requireIdentical(t, got, want, fmt.Sprintf("grey runs darpa/%v/workers=%d", conn, w))
+		}
+	}
+}
+
+// TestGreyRunsMatchesSequentialRandom sweeps the grey run engine across
+// random grey images — odd sides, several grey-level counts (including
+// k=2, the densest unite case), worker counts spanning the strip-boundary
+// cases — against the sequential grey BFS, exact.
+func TestGreyRunsMatchesSequentialRandom(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 17, 64, 65, 127} {
+		for _, k := range []int{2, 8, 256} {
+			im := image.RandomGrey(n, k, uint64(n*k))
+			want := seq.LabelBFS(im, image.Conn8, seq.Grey)
+			for _, w := range workerCounts {
+				e := NewEngine(w)
+				got := e.Label(im, image.Conn8, seq.Grey)
+				requireIdentical(t, got, want,
+					fmt.Sprintf("grey runs n=%d k=%d workers=%d", n, k, w))
+			}
+		}
+	}
+}
+
+// TestGreyRunsWideLevels covers the full-width fallback inside the grey
+// run path: grey levels above 255 cannot be packed into the byte plane
+// (they would truncate and alias), so those strips extract runs from the
+// raw uint32 pixels. Values are chosen to collide modulo 256, which would
+// merge distinct components if the packed bytes were trusted.
+func TestGreyRunsWideLevels(t *testing.T) {
+	im := image.New(16)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 8; j++ {
+			im.Set(i, j, 7)
+		}
+		for j := 8; j < 16; j++ {
+			im.Set(i, j, 7+256) // same low byte as 7, different grey level
+		}
+	}
+	for _, w := range []int{1, 4} {
+		e := NewEngine(w)
+		got := e.Label(im, image.Conn8, seq.Grey)
+		want := seq.LabelBFS(im, image.Conn8, seq.Grey)
+		requireIdentical(t, got, want, fmt.Sprintf("wide grey workers=%d", w))
+		if c := got.Components(); c != 2 {
+			t.Fatalf("wide grey labeling found %d components, want 2", c)
+		}
+	}
 }
 
 // TestParseAlgo checks flag-value parsing and String round-trips.

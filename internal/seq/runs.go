@@ -81,14 +81,16 @@ func Fill32(s []uint32, v uint32) {
 }
 
 // RunLabeler is a reusable run-based labeler for one horizontal strip of a
-// bit-packed binary image. It owns all scratch (the flat run table, per-run
-// seed labels, and the run union-find) and keeps the run table alive after
-// LabelStrip so a caller can revisit the strip's runs (the parallel
-// engine's final border-fixup pass does). The zero value is ready to use.
-// A RunLabeler is not safe for concurrent use; give each worker its own.
+// binary or grey image. It owns all scratch (the flat run table, per-run
+// grey values and seed labels, and the run union-find) and keeps the run
+// table alive after LabelStrip/LabelGreyStrip so a caller can revisit the
+// strip's runs (the parallel engine's final border-fixup pass does). The
+// zero value is ready to use. A RunLabeler is not safe for concurrent use;
+// give each worker its own.
 type RunLabeler struct {
-	runs   []int32 // flat (start, end) column pairs, rows concatenated
-	rowOff []int32 // rowOff[i] = offset into runs of row i's pairs; len rows+1
+	runs   []int32  // flat (start, end) column pairs, rows concatenated
+	rowOff []int32  // rowOff[i] = offset into runs of row i's pairs; len rows+1
+	vals   []uint32 // per-run grey level (grey mode only; empty for binary)
 	seed   []uint32
 	parent []int32
 
@@ -109,6 +111,7 @@ func (rl *RunLabeler) LabelStrip(bp *image.Bitplane, r0, rows int, conn image.Co
 	clear bool, lab []uint32) int {
 	n := bp.N
 	rl.runs = rl.runs[:0]
+	rl.vals = rl.vals[:0]
 	rl.seed = rl.seed[:0]
 	rl.parent = rl.parent[:0]
 	rl.rowOff = rl.rowOff[:0]
@@ -137,8 +140,15 @@ func (rl *RunLabeler) LabelStrip(bp *image.Bitplane, r0, rows int, conn image.Co
 	}
 	rl.rowOff = append(rl.rowOff, int32(len(rl.runs)))
 
-	// Pass two: paint every run with its root's seed label, a span write
-	// per run instead of a store per pixel.
+	rl.paint(rows, n, clear, lab)
+	return len(rl.parent) - unites
+}
+
+// paint is pass two of both the binary and grey strip labelers: every run
+// is painted with its root's seed label, a span write per run instead of a
+// store per pixel. When clear is true, background gaps are zeroed in the
+// same sweep.
+func (rl *RunLabeler) paint(rows, n int, clear bool, lab []uint32) {
 	for i := 0; i < rows; i++ {
 		row := lab[i*n : (i+1)*n]
 		lo, hi := rl.rowOff[i]/2, rl.rowOff[i+1]/2
@@ -155,7 +165,6 @@ func (rl *RunLabeler) LabelStrip(bp *image.Bitplane, r0, rows int, conn image.Co
 			zero32(row[col:])
 		}
 	}
-	return len(rl.parent) - unites
 }
 
 // uniteRows unites each run of the current row [curLo, curHi) with every

@@ -147,11 +147,11 @@ const (
 )
 
 // Host-parallel strip labeling algorithms (LabelOptions.Algo; honored by
-// the host-parallel backend only). AlgoAuto runs the run-based engine for
-// Binary mode and the per-pixel BFS for Grey; AlgoRuns forces the run
-// engine where legal (Grey still falls back to BFS); AlgoBFS always runs
-// the paper's Section 5.1 BFS. Every choice produces the exact labeling of
-// LabelSequential.
+// the host-parallel backend only). AlgoAuto and AlgoRuns run the run-based
+// engine for both modes — foreground runs over the bit plane in Binary,
+// equal-grey-level runs over the byte plane in Grey; AlgoBFS forces the
+// paper's Section 5.1 per-pixel BFS. Every choice produces the exact
+// labeling of LabelSequential.
 const (
 	AlgoAuto = par.AlgoAuto
 	AlgoBFS  = par.AlgoBFS
@@ -396,7 +396,7 @@ type LabelOptions struct {
 	FullRelabel bool
 	// Algo selects the strip labeling algorithm of the host-parallel
 	// backend (LabelParallel / ParallelEngine); the simulator ignores it.
-	// Default AlgoAuto: run-based for Binary, BFS for Grey.
+	// Default AlgoAuto: the run-based engine for both Binary and Grey.
 	Algo Algo
 	// Metrics, when non-nil, receives the run's phase times and operation
 	// counters. Honored by LabelParallel; Simulator.Label instead uses the
