@@ -55,9 +55,12 @@ fuzz-short:
 # Chaos suite under the race detector: injected panics, delays and
 # barrier no-shows, cooperative cancellation, the barrier watchdog, and
 # the goroutine leak checks — across the simulator and host-parallel
-# backends (used by the CI chaos job).
+# backends (used by the CI chaos job). The second pass re-runs the
+# host-parallel matrix with the Shiloach-Vishkin border merge forced, so
+# both merge backends face the same fault schedule.
 chaos-short:
 	$(GO) test -race -timeout 5m -run 'Chaos|Injected|Watchdog|RunContext|LabelContext|HistogramContext|Abort|Timeout|Checkpoint' . ./internal/bdm/ ./internal/par/ ./internal/hist/ ./internal/cc/ ./internal/cli/ ./internal/fault/...
+	$(GO) test -race -timeout 5m -run 'Chaos|Injected|Scrub|LabelContext|HistogramContext' ./internal/par/ -merge=sv
 
 # Regenerate the committed experiment artifacts: the captured
 # cmd/experiments output and the phasereport tables in EXPERIMENTS.md

@@ -49,6 +49,7 @@ func run() error {
 		compare     = flag.Bool("compare", false, "run all three parallel algorithms and compare")
 		backend     = cli.BackendFlag(flag.CommandLine)
 		algoName    = cli.AlgoFlag(flag.CommandLine)
+		mergeName   = cli.MergeFlag(flag.CommandLine)
 		workers     = cli.WorkersFlag(flag.CommandLine)
 		metricsPath = cli.MetricsFlag(flag.CommandLine)
 		timeout     = cli.TimeoutFlag(flag.CommandLine)
@@ -56,6 +57,10 @@ func run() error {
 	flag.Parse()
 
 	algo, err := parimg.ParseAlgo(*algoName)
+	if err != nil {
+		return err
+	}
+	merge, err := parimg.ParseMerge(*mergeName)
 	if err != nil {
 		return err
 	}
@@ -81,6 +86,7 @@ func run() error {
 		// fall through to the simulator below
 	case "par", "seq":
 		opt0.Algo = algo
+		opt0.Merge = merge
 		return runHost(*backend, im, opt0, *workers, *top,
 			*metricsPath, cli.ImageName(*patternName, *darpa, *inFile))
 	default:
@@ -146,6 +152,7 @@ func runHost(backend string, im *parimg.Image, opt parimg.LabelOptions,
 		workers = cli.Workers(workers)
 		eng := parimg.NewParallelEngine(workers)
 		eng.SetAlgo(opt.Algo)
+		eng.SetMerge(opt.Merge)
 		if metricsPath != "" {
 			eng.SetObserver(rec)
 		}
@@ -155,8 +162,8 @@ func runHost(backend string, im *parimg.Image, opt parimg.LabelOptions,
 		if err != nil {
 			return err
 		}
-		fmt.Printf("host-parallel, workers=%d (GOMAXPROCS=%d), algo=%v, %dx%d image, %v, %v mode\n",
-			workers, runtime.GOMAXPROCS(0), opt.Algo, im.N, im.N, connOf(opt), opt.Mode)
+		fmt.Printf("host-parallel, workers=%d (GOMAXPROCS=%d), algo=%v, merge=%v, %dx%d image, %v, %v mode\n",
+			workers, runtime.GOMAXPROCS(0), opt.Algo, opt.Merge, im.N, im.N, connOf(opt), opt.Mode)
 		fmt.Printf("%d connected components, wall time %v\n", labels.Components(), elapsed)
 	} else {
 		start := time.Now()
@@ -175,6 +182,7 @@ func runHost(backend string, im *parimg.Image, opt parimg.LabelOptions,
 		m.Command, m.Backend, m.Algo = "imgcc", backend, opt.Algo.String()
 		if backend == "par" {
 			m.Workers = workers
+			m.Merge = opt.Merge.String()
 		}
 		m.Image, m.N = imageName, im.N
 		m.TotalNS = elapsed.Nanoseconds()

@@ -72,6 +72,10 @@ func FuzzPublicAPI(f *testing.F) {
 			Conn: Connectivity(conn),
 			Mode: Mode(mode),
 			Algo: Algo(((algo % 3) + 3) % 3),
+			// The merge backend rides the same fuzzed int (higher trits),
+			// so existing corpus entries stay valid and still pick a
+			// deterministic backend: auto, tree or sv.
+			Merge: Merge(((algo / 3 % 3) + 3) % 3),
 		}
 
 		// Canceled-context leg: however hostile the rest of the input, a

@@ -24,6 +24,82 @@ func TestKeyDefaultsEmptyModeToBinary(t *testing.T) {
 	}
 }
 
+// mergeRow is row with an explicit merge column.
+func mergeRow(pattern, mode, backend, algo, merge string, w int, ns int64) Row {
+	r := row(pattern, mode, backend, algo, w, ns, true)
+	r.Merge = merge
+	return r
+}
+
+// TestKeyDefaultsEmptyMergeToTree pins the merge-axis back-compat rule: a
+// pre-merge row keys identically to an explicit "tree" row, and "sv" gets
+// its own cell.
+func TestKeyDefaultsEmptyMergeToTree(t *testing.T) {
+	old := row("cross", "binary", "par", "runs", 4, 100, true)
+	tree := mergeRow("cross", "binary", "par", "runs", "tree", 4, 200)
+	if old.Key() != tree.Key() {
+		t.Fatalf("pre-merge key %q != tree key %q", old.Key(), tree.Key())
+	}
+	sv := mergeRow("cross", "binary", "par", "runs", "sv", 4, 200)
+	if sv.Key() == tree.Key() {
+		t.Fatalf("sv key collides with tree: %q", sv.Key())
+	}
+}
+
+// TestDiffToleratesWidenedMergeMatrix is the baseline-compat contract of the
+// merge axis end to end: diffing a new report that carries both merge
+// backends against an old pre-merge baseline must match the tree cells
+// against the old cells (so regressions still surface) and report the sv
+// cells as informational new coverage — never as lost baseline cells.
+func TestDiffToleratesWidenedMergeMatrix(t *testing.T) {
+	base := &Report{Rows: []Row{
+		row("cross", "binary", "par", "runs", 4, 1000, true), // pre-merge: no merge field
+		row("spiral", "binary", "par", "runs", 4, 1000, true),
+	}}
+	cur := &Report{Rows: []Row{
+		mergeRow("cross", "binary", "par", "runs", "tree", 4, 1050),
+		mergeRow("cross", "binary", "par", "runs", "sv", 4, 700),
+		mergeRow("spiral", "binary", "par", "runs", "tree", 4, 3000), // real regression
+		mergeRow("spiral", "binary", "par", "runs", "sv", 4, 800),
+	}}
+	deltas, onlyBase, onlyNew := Diff(base, cur, 0.25)
+	if len(onlyBase) != 0 {
+		t.Fatalf("widened matrix lost baseline cells: %v", onlyBase)
+	}
+	if len(onlyNew) != 2 {
+		t.Fatalf("onlyNew = %v, want the two sv cells", onlyNew)
+	}
+	for _, k := range onlyNew {
+		if want := "sv"; !containsSegment(k, want) {
+			t.Fatalf("unexpected new cell %q", k)
+		}
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %+v, want the two tree cells", deltas)
+	}
+	if !deltas[0].Regress || deltas[0].Ratio != 3.0 {
+		t.Fatalf("worst delta = %+v, want the 3.0x tree regression", deltas[0])
+	}
+	if deltas[1].Regress {
+		t.Fatalf("within-tolerance tree cell flagged: %+v", deltas[1])
+	}
+}
+
+// containsSegment reports whether key contains seg as one "/"-separated
+// component (plain substring would confuse "sv" with e.g. a pattern name).
+func containsSegment(key, seg string) bool {
+	start := 0
+	for i := 0; i <= len(key); i++ {
+		if i == len(key) || key[i] == '/' {
+			if key[start:i] == seg {
+				return true
+			}
+			start = i + 1
+		}
+	}
+	return false
+}
+
 func TestDiffFlagsRegressionsWithinTolerance(t *testing.T) {
 	base := &Report{Rows: []Row{
 		row("cross", "binary", "par", "runs", 1, 1000, true),

@@ -55,9 +55,20 @@ const (
 	// CtrStripComponents counts components found by strip-local labeling
 	// before the border merge (the sum of per-strip component counts).
 	CtrStripComponents Counter = iota
-	// CtrBorderPairs counts adjacent like-colored pixel pairs examined
-	// across strip boundaries during the border merge.
+	// CtrBorderPairs counts raw adjacencies examined across strip
+	// boundaries during the border merge's edge extraction: like-colored
+	// pixel pairs on the per-pixel path, adjacent run pairs on the
+	// run-aware path.
 	CtrBorderPairs
+	// CtrBorderEdges counts deduplicated boundary union edges the border
+	// merge's extraction pass collected (the length of the edge list the
+	// resolution backend actually processes); CtrBorderPairs minus
+	// CtrBorderEdges is the work the dedup saved.
+	CtrBorderEdges
+	// CtrSVRounds counts the hook-and-compress rounds the Shiloach-Vishkin
+	// merge backend ran until convergence; 0 when the tree backend
+	// resolved the boundary edges instead.
+	CtrSVRounds
 	// CtrBorderLinks counts border unions that actually linked two
 	// distinct sets (strip components minus links = final components).
 	CtrBorderLinks
@@ -84,6 +95,10 @@ func (c Counter) String() string {
 		return "strip_components"
 	case CtrBorderPairs:
 		return "border_pairs"
+	case CtrBorderEdges:
+		return "border_edges"
+	case CtrSVRounds:
+		return "sv_rounds"
 	case CtrBorderLinks:
 		return "border_links"
 	case CtrUFFinds:
@@ -148,6 +163,10 @@ type Metrics struct {
 	Backend string `json:"backend,omitempty"`
 	// Algo is the host-parallel strip algorithm ("auto", "bfs", "runs").
 	Algo string `json:"algo,omitempty"`
+	// Merge is the host-parallel border-merge backend ("auto", "tree",
+	// "sv"), as configured; with "auto" the sv_rounds counter tells which
+	// backend the density heuristic actually picked.
+	Merge string `json:"merge,omitempty"`
 	// Machine is the simulated machine profile name (sim backend only).
 	Machine string `json:"machine,omitempty"`
 	// Workers is the host-parallel worker count (par backend only).

@@ -3,6 +3,7 @@ package par
 import (
 	"context"
 	"errors"
+	"flag"
 	"strings"
 	"testing"
 	"time"
@@ -13,6 +14,26 @@ import (
 	"parimg/internal/image"
 	"parimg/internal/seq"
 )
+
+// chaosMergeFlag lets the chaos matrix re-run with a forced border-merge
+// backend (the CI chaos job does one pass with -merge=sv), so both merge
+// paths face the same injected panics, delays, no-shows and deadlines.
+var chaosMergeFlag = flag.String("merge", "", "force this border-merge backend on chaos-test engines (tree or sv)")
+
+// chaosEngine builds an engine for a chaos test, applying the -merge
+// override when one was given on the test command line.
+func chaosEngine(t *testing.T, workers int) *Engine {
+	t.Helper()
+	e := NewEngine(workers)
+	if *chaosMergeFlag != "" {
+		m, err := ParseMerge(*chaosMergeFlag)
+		if err != nil {
+			t.Fatalf("-merge flag: %v", err)
+		}
+		e.SetMerge(m)
+	}
+	return e
+}
 
 // requireCleanAfterFault re-runs the engine without faults and checks the
 // labeling is pixel-identical to the sequential reference — the "no partial
@@ -36,29 +57,38 @@ func TestInjectedPanicEveryPhase(t *testing.T) {
 	im := image.Generate(image.DualSpiral, 64)
 	grey := image.RandomGrey(64, 16, 1)
 	cases := []struct {
-		site string
-		algo Algo
-		run  func(e *Engine) error
+		site  string
+		algo  Algo
+		merge Merge
+		run   func(e *Engine) error
 	}{
-		{"strip_label", AlgoBFS, nil},
-		{"border_merge", AlgoBFS, nil},
-		{"relabel", AlgoBFS, nil},
-		{"strip_label", AlgoRuns, nil},
-		{"border_merge", AlgoRuns, nil},
-		{"relabel", AlgoRuns, nil},
-		{"tally", AlgoAuto, func(e *Engine) error {
+		{"strip_label", AlgoBFS, MergeAuto, nil},
+		{"border_merge", AlgoBFS, MergeAuto, nil},
+		{"relabel", AlgoBFS, MergeAuto, nil},
+		{"strip_label", AlgoRuns, MergeAuto, nil},
+		{"border_merge", AlgoRuns, MergeAuto, nil},
+		{"relabel", AlgoRuns, MergeAuto, nil},
+		// The extraction site fires for both merge backends; sv_round only
+		// exists inside the Shiloach-Vishkin resolve loop.
+		{"border_merge", AlgoRuns, MergeSV, nil},
+		{"sv_round", AlgoBFS, MergeSV, nil},
+		{"sv_round", AlgoRuns, MergeSV, nil},
+		{"tally", AlgoAuto, MergeAuto, func(e *Engine) error {
 			_, err := e.Histogram(grey, 16)
 			return err
 		}},
-		{"tree_merge", AlgoAuto, func(e *Engine) error {
+		{"tree_merge", AlgoAuto, MergeAuto, func(e *Engine) error {
 			_, err := e.Histogram(grey, 16)
 			return err
 		}},
 	}
 	for _, c := range cases {
-		t.Run(c.site+"/"+c.algo.String(), func(t *testing.T) {
-			e := NewEngine(4)
+		t.Run(c.site+"/"+c.algo.String()+"/"+c.merge.String(), func(t *testing.T) {
+			e := chaosEngine(t, 4)
 			e.SetAlgo(c.algo)
+			if c.merge != MergeAuto {
+				e.SetMerge(c.merge)
+			}
 			e.SetFaultInjector(fault.New(1, fault.Panic, 1).At(c.site).OnRank(1))
 			var err error
 			if c.run != nil {
@@ -85,7 +115,7 @@ func TestLabelContextPreCanceled(t *testing.T) {
 	leakcheck.Check(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	e := NewEngine(4)
+	e := chaosEngine(t, 4)
 	im := image.Generate(image.Cross, 64)
 	if _, err := e.LabelContext(ctx, im, image.Conn8, seq.Binary); !errors.Is(err, errs.ErrCanceled) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
@@ -100,7 +130,7 @@ func TestLabelContextDeadlineMidRun(t *testing.T) {
 	leakcheck.Check(t)
 	im := image.Generate(image.DualSpiral, 128)
 	for _, algo := range []Algo{AlgoBFS, AlgoRuns} {
-		e := NewEngine(4)
+		e := chaosEngine(t, 4)
 		e.SetAlgo(algo)
 		e.SetFaultInjector(fault.New(1, fault.Delay, 1).
 			At("strip_label").OnRank(0).WithDelay(50 * time.Millisecond))
@@ -124,7 +154,7 @@ func TestLabelContextDeadlineMidRun(t *testing.T) {
 func TestHistogramContextDeadlineMidRun(t *testing.T) {
 	leakcheck.Check(t)
 	im := image.RandomGrey(128, 16, 2)
-	e := NewEngine(4)
+	e := chaosEngine(t, 4)
 	e.SetFaultInjector(fault.New(1, fault.Delay, 1).
 		At("tally").OnRank(0).WithDelay(50 * time.Millisecond))
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
@@ -154,7 +184,7 @@ func TestHistogramContextDeadlineMidRun(t *testing.T) {
 func TestInjectedNoShowReleasedByContext(t *testing.T) {
 	leakcheck.Check(t)
 	im := image.Generate(image.FourSquares, 128)
-	e := NewEngine(4)
+	e := chaosEngine(t, 4)
 	e.SetFaultInjector(fault.New(1, fault.NoShow, 1).At("strip_label").OnRank(2))
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
@@ -175,7 +205,7 @@ func TestInjectedNoShowReleasedByContext(t *testing.T) {
 func TestInjectedNoShowWithoutContextDegradesToPanic(t *testing.T) {
 	leakcheck.Check(t)
 	im := image.Generate(image.Cross, 64)
-	e := NewEngine(4)
+	e := chaosEngine(t, 4)
 	e.SetFaultInjector(fault.New(1, fault.NoShow, 1).At("strip_label").OnRank(1))
 	_, err := e.LabelErr(im, image.Conn8, seq.Binary)
 	if !errors.Is(err, errs.ErrAborted) {
@@ -196,7 +226,7 @@ func TestScrubRestoresUnionFind(t *testing.T) {
 	leakcheck.Check(t)
 	im := image.Generate(image.ConcentricCircles, 128)
 	for _, algo := range []Algo{AlgoBFS, AlgoRuns} {
-		e := NewEngine(4)
+		e := chaosEngine(t, 4)
 		e.SetAlgo(algo)
 		e.SetFaultInjector(fault.New(1, fault.Panic, 1).At("relabel").OnRank(1))
 		if _, err := e.LabelErr(im, image.Conn8, seq.Binary); !errors.Is(err, errs.ErrAborted) {
@@ -220,7 +250,7 @@ func TestProbabilisticChaosSweep(t *testing.T) {
 	im := image.Generate(image.DualSpiral, 96)
 	want := seq.LabelBFS(im, image.Conn8, seq.Binary)
 	for seed := uint64(1); seed <= 20; seed++ {
-		e := NewEngine(3)
+		e := chaosEngine(t, 3)
 		e.SetFaultInjector(fault.New(seed, fault.Panic, 0.3))
 		got, err := e.LabelErr(im, image.Conn8, seq.Binary)
 		if err != nil {

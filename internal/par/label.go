@@ -130,7 +130,11 @@ func (e *Engine) labelInto(ctx context.Context, op string, im *image.Image,
 		e.runners[i].Stop = flag
 	}
 	var comps int
-	if e.algo.effective() == AlgoRuns {
+	// haveRuns tells the border merge whether Phase 1 is about to leave
+	// usable boundary run tables in e.runners (the run engine fills them;
+	// the BFS path leaves stale ones from an earlier call, if any).
+	e.haveRuns = e.algo.effective() == AlgoRuns
+	if e.haveRuns {
 		comps = e.runLabelInto(im, conn, mode, out, clear)
 	} else {
 		comps = e.bfsLabelInto(im, conn, mode, out, clear)
@@ -238,57 +242,163 @@ func (e *Engine) bfsLabelInto(im *image.Image, conn image.Connectivity, mode seq
 	return e.finish(W)
 }
 
-// borderMerge is Phase 2 — worker w resolves the boundary between strips
-// w-1 and w by uniting the labels of adjacent like-colored pixels across
-// it in the concurrent union-find. Boundaries are independent, but a
-// strip's labels can reach two boundaries, so the union-find must be (and
-// is) safe for concurrent unites. Strip labels must already be painted
-// into out; cross-border link counts land in e.links.
+// borderMerge is Phase 2 — resolving the strip boundaries so that labels
+// from different strips that belong to one component share a root in the
+// concurrent union-find. It runs in two passes: an extraction pass in which
+// worker w reduces the boundary between strips w-1 and w to a deduplicated
+// union-edge list in its private append-only slab (intersecting the strips'
+// boundary run lists when Phase 1 was the run engine, scanning pixels
+// otherwise), and a resolution pass — the tree backend's one-shot unites or
+// the Shiloach-Vishkin backend's hook-and-compress rounds, per the engine's
+// Merge setting (MergeAuto decides from the measured edge density). Strip
+// labels must already be painted into out; cross-border link counts land in
+// e.links, raw adjacency counts in e.pairs.
 func (e *Engine) borderMerge(im *image.Image, out *image.Labels,
 	conn image.Connectivity, mode seq.Mode, W int) {
 	n := im.N
 	e.uf.reset(n*n + 1)
+	e.svRounds = 0
 	e.parallelDo(W, func(w int) {
 		e.checkFault("border_merge", w, 1)
 		e.links[w] = 0
+		e.pairs[w] = 0
+		e.dirty[w] = e.dirty[w][:0]
 		if w == 0 {
 			return
 		}
-		c, _ := stripBounds(w, W, n)
-		dirty := e.dirty[w][:0]
-		top, bot := (c-1)*n, c*n
-		for j := 0; j < n; j++ {
-			if j&1023 == 0 && e.cancelable && e.stop.Load() {
-				break
+		if e.haveRuns {
+			e.extractRunEdges(out, conn, mode, w, W, n)
+		} else {
+			e.extractPixelEdges(im, out, conn, mode, w, W, n)
+		}
+	})
+	if e.cancelable && e.stop.Load() {
+		return
+	}
+	if e.resolveMerge(n, W) == MergeSV {
+		e.svResolve(W)
+	} else {
+		e.treeResolve(W)
+	}
+}
+
+// extractPixelEdges is the extraction pass of the BFS path (no run tables):
+// scan the boundary pixel by pixel and append one union edge per adjacent
+// like-pixel pair, deduplicating consecutive repeats — adjacent boundary
+// pixels of one component fragment carry the same label, so a wide overlap
+// emits one edge instead of one per pixel (plus up to three per label
+// change under Conn8), without any lookup structure.
+func (e *Engine) extractPixelEdges(im *image.Image, out *image.Labels,
+	conn image.Connectivity, mode seq.Mode, w, W, n int) {
+	c, _ := stripBounds(w, W, n)
+	dirty := e.dirty[w][:0]
+	top, bot := (c-1)*n, c*n
+	var pairs int64
+	var lastA, lastB uint32
+	for j := 0; j < n; j++ {
+		if j&1023 == 0 && e.cancelable && e.stop.Load() {
+			break
+		}
+		a := im.Pix[top+j]
+		if a == 0 {
+			continue
+		}
+		jlo, jhi := j, j
+		if conn == image.Conn8 {
+			jlo, jhi = j-1, j+1
+			if jlo < 0 {
+				jlo = 0
 			}
-			a := im.Pix[top+j]
-			if a == 0 {
-				continue
-			}
-			jlo, jhi := j, j
-			if conn == image.Conn8 {
-				jlo, jhi = j-1, j+1
-				if jlo < 0 {
-					jlo = 0
-				}
-				if jhi >= n {
-					jhi = n - 1
-				}
-			}
-			for jj := jlo; jj <= jhi; jj++ {
-				b := im.Pix[bot+jj]
-				if b == 0 || !mode.Connected(a, b) {
-					continue
-				}
-				la, lb := out.Lab[top+j], out.Lab[bot+jj]
-				dirty = append(dirty, la, lb)
-				if e.uf.unite(la, lb) {
-					e.links[w]++
-				}
+			if jhi >= n {
+				jhi = n - 1
 			}
 		}
-		e.dirty[w] = dirty
-	})
+		for jj := jlo; jj <= jhi; jj++ {
+			b := im.Pix[bot+jj]
+			if b == 0 || !mode.Connected(a, b) {
+				continue
+			}
+			pairs++
+			la, lb := out.Lab[top+j], out.Lab[bot+jj]
+			if la == lastA && lb == lastB {
+				continue
+			}
+			lastA, lastB = la, lb
+			dirty = append(dirty, la, lb)
+		}
+	}
+	e.pairs[w] = pairs
+	e.dirty[w] = dirty
+}
+
+// extractRunEdges is the extraction pass of the run path: instead of
+// scanning boundary pixels it intersects the last-row run list of strip w-1
+// with the first-row run list of strip w (both already sitting in the
+// strips' RunLabelers) and emits exactly one union edge per adjacent run
+// pair — a run's pixels all carry one label, so the pair's single edge is
+// the full dedup. A sparse boundary therefore costs O(runs), not O(side).
+// Adjacency under Conn8 widens each run's column interval by one; two runs
+// connect when the widened intervals overlap and, in grey mode, their grey
+// levels are equal (maximal grey runs can touch, so the sweep keeps a skip
+// pointer and rescans forward per lower run, like seq's uniteRowsGrey —
+// the binary two-pointer advance would drop Conn8 diagonals across
+// touching pairs).
+func (e *Engine) extractRunEdges(out *image.Labels,
+	conn image.Connectivity, mode seq.Mode, w, W, n int) {
+	c, _ := stripBounds(w, W, n)
+	up, lo := &e.runners[w-1], &e.runners[w]
+	upOff, loOff := up.RowOffsets(), lo.RowOffsets()
+	aRuns, bRuns := up.Runs(), lo.Runs()
+	aLo, aHi := int(upOff[len(upOff)-2]), int(upOff[len(upOff)-1])
+	bLo, bHi := int(loOff[0]), int(loOff[1])
+	top, bot := (c-1)*n, c*n
+	var win int32
+	if conn == image.Conn8 {
+		win = 1
+	}
+	dirty := e.dirty[w][:0]
+	var pairs int64
+	if mode == seq.Grey {
+		aVals, bVals := up.Values(), lo.Values()
+		p := aLo
+		for b := bLo; b < bHi; b += 2 {
+			if b&1023 == 0 && e.cancelable && e.stop.Load() {
+				break
+			}
+			b0, b1 := bRuns[b], bRuns[b+1]
+			for p < aHi && aRuns[p+1]+win <= b0 {
+				p += 2
+			}
+			lb := out.Lab[bot+int(b0)]
+			for q := p; q < aHi && aRuns[q] < b1+win; q += 2 {
+				if aVals[q/2] != bVals[b/2] {
+					continue
+				}
+				pairs++
+				dirty = append(dirty, out.Lab[top+int(aRuns[q])], lb)
+			}
+		}
+	} else {
+		p, q := aLo, bLo
+		for p < aHi && q < bHi {
+			if (p+q)&1023 == 0 && e.cancelable && e.stop.Load() {
+				break
+			}
+			a0, a1 := aRuns[p], aRuns[p+1]
+			b0, b1 := bRuns[q], bRuns[q+1]
+			if a0 < b1+win && b0 < a1+win {
+				pairs++
+				dirty = append(dirty, out.Lab[top+int(a0)], out.Lab[bot+int(b0)])
+			}
+			if a1 <= b1 {
+				p += 2
+			} else {
+				q += 2
+			}
+		}
+	}
+	e.pairs[w] = pairs
+	e.dirty[w] = dirty
 }
 
 // finish is Phase 4 plus the component count: restore the union-find's
@@ -307,17 +417,20 @@ func (e *Engine) finish(W int) int {
 		total += e.comps[w] - e.links[w]
 	}
 	if e.obs != nil {
-		var comps, links, pairs, finds, relab int64
+		var comps, links, pairs, edges, finds, relab int64
 		for w := 0; w < W; w++ {
 			comps += int64(e.comps[w])
 			links += int64(e.links[w])
-			pairs += int64(len(e.dirty[w]) / 2)
+			pairs += e.pairs[w]
+			edges += int64(len(e.dirty[w]) / 2)
 			finds += e.finds[w]
 			relab += e.relab[w]
 		}
 		e.obs.Add(obs.CtrStripComponents, comps)
 		e.obs.Add(obs.CtrBorderLinks, links)
 		e.obs.Add(obs.CtrBorderPairs, pairs)
+		e.obs.Add(obs.CtrBorderEdges, edges)
+		e.obs.Add(obs.CtrSVRounds, int64(e.svRounds))
 		e.obs.Add(obs.CtrUFFinds, finds)
 		e.obs.Add(obs.CtrRelabeledPixels, relab)
 	}

@@ -110,19 +110,28 @@ func (a Algo) effective() Algo {
 type Engine struct {
 	workers  int
 	algo     Algo
+	merge    Merge
 	obs      *obs.Recorder    // metrics recorder; nil disables all accounting
 	labelers []seq.Labeler    // per-worker BFS scratch
 	runners  []seq.RunLabeler // per-worker run-engine scratch
 	bp       image.Bitplane   // shared bit-packed plane (strips filled per worker)
 	bytep    image.Byteplane  // shared byte-packed grey plane (strips filled per worker)
 	uf       cuf              // border-merge union-find (labels -> roots)
-	dirty    [][]uint32       // per-worker union-find entries to clear
+	dirty    [][]uint32       // per-worker boundary edge slabs, doubling as union-find entries to clear
 	comps    []int            // per-worker strip component counts
 	links    []int            // per-worker cross-border merge counts
+	pairs    []int64          // per-worker boundary adjacency counts (pre-dedup)
 	finds    []int64          // per-worker union-find find calls (final update)
 	relab    []int64          // per-worker pixels rewritten in the final update
 	shards   [][]int64        // per-worker histogram tallies
 	errs     []error          // per-worker tally errors
+
+	// Per-call border-merge state: whether Phase 1 left usable boundary run
+	// tables in e.runners, the per-worker changed flags of the SV rounds,
+	// and the SV round count of the last run (0 when the tree backend ran).
+	haveRuns  bool
+	svchanged []bool
+	svRounds  int
 
 	// Cancellation and fault-injection state. All of it is inert — one
 	// atomic store and a nil check per call — unless the call carries a
@@ -145,17 +154,19 @@ func NewEngine(workers int) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
-		workers:  workers,
-		labelers: make([]seq.Labeler, workers),
-		runners:  make([]seq.RunLabeler, workers),
-		dirty:    make([][]uint32, workers),
-		comps:    make([]int, workers),
-		links:    make([]int, workers),
-		finds:    make([]int64, workers),
-		relab:    make([]int64, workers),
-		shards:   make([][]int64, workers),
-		errs:     make([]error, workers),
-		wpanic:   make([]error, workers),
+		workers:   workers,
+		labelers:  make([]seq.Labeler, workers),
+		runners:   make([]seq.RunLabeler, workers),
+		dirty:     make([][]uint32, workers),
+		comps:     make([]int, workers),
+		links:     make([]int, workers),
+		pairs:     make([]int64, workers),
+		finds:     make([]int64, workers),
+		relab:     make([]int64, workers),
+		shards:    make([][]int64, workers),
+		errs:      make([]error, workers),
+		wpanic:    make([]error, workers),
+		svchanged: make([]bool, workers),
 	}
 }
 
@@ -167,6 +178,15 @@ func (e *Engine) SetAlgo(a Algo) { e.algo = a }
 
 // Algo returns the engine's configured (not mode-resolved) algorithm.
 func (e *Engine) Algo() Algo { return e.algo }
+
+// SetMerge selects the border-merge backend for subsequent Label calls:
+// the tree of one-shot concurrent unites, the Shiloach-Vishkin rounds, or
+// (the default) a per-run choice by measured boundary-edge density.
+func (e *Engine) SetMerge(m Merge) { e.merge = m }
+
+// Merge returns the engine's configured (not density-resolved) merge
+// backend.
+func (e *Engine) Merge() Merge { return e.merge }
 
 // SetFaultInjector installs (or, with nil, removes) a fault injector that
 // every phase worker consults at its checkpoints. Testing only; must not be
@@ -389,18 +409,20 @@ func (e *Engine) stopFlag() *atomic.Bool {
 var enginePool = sync.Pool{New: func() any { return NewEngine(0) }}
 
 // Label labels im's connected components on a pooled engine with GOMAXPROCS
-// workers and AlgoAuto dispatch. The result is identical to seq.LabelBFS.
-// Safe for concurrent use.
+// workers, AlgoAuto dispatch and MergeAuto border resolution. The result is
+// identical to seq.LabelBFS. Safe for concurrent use.
 func Label(im *image.Image, conn image.Connectivity, mode seq.Mode) *image.Labels {
-	return LabelWith(AlgoAuto, im, conn, mode)
+	return LabelWith(AlgoAuto, MergeAuto, im, conn, mode)
 }
 
-// LabelWith is Label with an explicit algorithm choice. The result is
-// identical to seq.LabelBFS for every algorithm. Safe for concurrent use.
-func LabelWith(algo Algo, im *image.Image, conn image.Connectivity, mode seq.Mode) *image.Labels {
+// LabelWith is Label with explicit algorithm and merge-backend choices. The
+// result is identical to seq.LabelBFS for every combination. Safe for
+// concurrent use.
+func LabelWith(algo Algo, merge Merge, im *image.Image, conn image.Connectivity, mode seq.Mode) *image.Labels {
 	e := enginePool.Get().(*Engine)
 	defer enginePool.Put(e)
 	e.SetAlgo(algo)
+	e.SetMerge(merge)
 	return e.Label(im, conn, mode)
 }
 
@@ -408,10 +430,11 @@ func LabelWith(algo Algo, im *image.Image, conn image.Connectivity, mode seq.Mod
 // malformed images (including sides beyond image.MaxSide, which would wrap
 // the 32-bit seed labels), unknown connectivities and unknown modes return
 // errors from the errs taxonomy. Safe for concurrent use.
-func LabelWithErr(algo Algo, im *image.Image, conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
+func LabelWithErr(algo Algo, merge Merge, im *image.Image, conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
 	e := enginePool.Get().(*Engine)
 	defer enginePool.Put(e)
 	e.SetAlgo(algo)
+	e.SetMerge(merge)
 	return e.LabelErr(im, conn, mode)
 }
 
@@ -419,11 +442,12 @@ func LabelWithErr(algo Algo, im *image.Image, conn image.Connectivity, mode seq.
 // duration of the call (the pooled engine's observer is removed before the
 // engine returns to the pool). Safe for concurrent use, but concurrent
 // callers sharing one recorder interleave their phase records.
-func LabelObserved(r *obs.Recorder, algo Algo, im *image.Image,
+func LabelObserved(r *obs.Recorder, algo Algo, merge Merge, im *image.Image,
 	conn image.Connectivity, mode seq.Mode) *image.Labels {
 	e := enginePool.Get().(*Engine)
 	defer enginePool.Put(e)
 	e.SetAlgo(algo)
+	e.SetMerge(merge)
 	e.SetObserver(r)
 	defer e.SetObserver(nil)
 	return e.Label(im, conn, mode)
@@ -431,11 +455,12 @@ func LabelObserved(r *obs.Recorder, algo Algo, im *image.Image,
 
 // LabelObservedErr is LabelObserved with typed input validation instead of
 // panics; see LabelWithErr for the rejected inputs. Safe for concurrent use.
-func LabelObservedErr(r *obs.Recorder, algo Algo, im *image.Image,
+func LabelObservedErr(r *obs.Recorder, algo Algo, merge Merge, im *image.Image,
 	conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
 	e := enginePool.Get().(*Engine)
 	defer enginePool.Put(e)
 	e.SetAlgo(algo)
+	e.SetMerge(merge)
 	e.SetObserver(r)
 	defer e.SetObserver(nil)
 	return e.LabelErr(im, conn, mode)
@@ -454,11 +479,12 @@ func Histogram(im *image.Image, k int) ([]int64, error) {
 // checkpoint and the call returns an error wrapping errs.ErrCanceled or
 // errs.ErrDeadline (no partial labeling is returned). Safe for concurrent
 // use.
-func LabelContext(ctx context.Context, algo Algo, im *image.Image,
+func LabelContext(ctx context.Context, algo Algo, merge Merge, im *image.Image,
 	conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
 	e := enginePool.Get().(*Engine)
 	defer enginePool.Put(e)
 	e.SetAlgo(algo)
+	e.SetMerge(merge)
 	return e.LabelContext(ctx, im, conn, mode)
 }
 
@@ -467,11 +493,12 @@ func LabelContext(ctx context.Context, algo Algo, im *image.Image,
 // On an aborted run the recorder holds the phases that completed plus the
 // aborted marker, so metrics stay valid on failed runs. Safe for concurrent
 // use, with the same recorder-sharing caveat as LabelObserved.
-func LabelObservedContext(ctx context.Context, r *obs.Recorder, algo Algo, im *image.Image,
+func LabelObservedContext(ctx context.Context, r *obs.Recorder, algo Algo, merge Merge, im *image.Image,
 	conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
 	e := enginePool.Get().(*Engine)
 	defer enginePool.Put(e)
 	e.SetAlgo(algo)
+	e.SetMerge(merge)
 	e.SetObserver(r)
 	defer e.SetObserver(nil)
 	return e.LabelContext(ctx, im, conn, mode)

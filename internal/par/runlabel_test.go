@@ -198,7 +198,7 @@ func TestLabelWithPooled(t *testing.T) {
 	im := image.Generate(image.DualSpiral, 96)
 	want := seq.LabelBFS(im, image.Conn8, seq.Binary)
 	for _, algo := range []Algo{AlgoAuto, AlgoBFS, AlgoRuns} {
-		got := LabelWith(algo, im, image.Conn8, seq.Binary)
+		got := LabelWith(algo, MergeAuto, im, image.Conn8, seq.Binary)
 		requireIdentical(t, got, want, fmt.Sprintf("pooled %v", algo))
 	}
 }

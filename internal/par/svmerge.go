@@ -1,0 +1,178 @@
+package par
+
+import "fmt"
+
+// Merge selects the backend that resolves the cross-strip boundary edges
+// collected by Phase 2's extraction pass. Both backends produce the exact
+// unite-by-minimum forest, so the final labeling is pixel-for-pixel
+// identical to seq.LabelBFS either way; they differ only in how the edge
+// list is turned into that forest.
+type Merge int
+
+const (
+	// MergeAuto picks per run by measured boundary-edge density: boundaries
+	// carrying at least one edge per svAutoDensity⁻¹ boundary pixels (dense,
+	// high-component-count images like the spiral and checker patterns) take
+	// the Shiloach-Vishkin rounds; sparse boundaries take the tree.
+	MergeAuto Merge = iota
+	// MergeTree forces the paper-shaped backend: each edge is fed to the
+	// concurrent union-find's unite (find both roots, CAS-link larger under
+	// smaller), one edge at a time per worker.
+	MergeTree
+	// MergeSV forces the Shiloach-Vishkin backend: concurrent hook-and-
+	// compress rounds over the shared parent array, every worker sweeping
+	// its own edge slab per round until no parent changes.
+	MergeSV
+)
+
+// String returns the merge backend's flag spelling: "auto", "tree" or "sv".
+func (m Merge) String() string {
+	switch m {
+	case MergeAuto:
+		return "auto"
+	case MergeTree:
+		return "tree"
+	case MergeSV:
+		return "sv"
+	}
+	return fmt.Sprintf("Merge(%d)", int(m))
+}
+
+// ParseMerge resolves a -merge flag value: "auto" (pick by boundary-edge
+// density), "tree" or "sv".
+func ParseMerge(s string) (Merge, error) {
+	switch s {
+	case "auto", "":
+		return MergeAuto, nil
+	case "tree":
+		return MergeTree, nil
+	case "sv":
+		return MergeSV, nil
+	}
+	return 0, fmt.Errorf("par: unknown merge backend %q (want auto, tree or sv)", s)
+}
+
+// svAutoDensity is MergeAuto's switch point, in boundary edges per boundary
+// pixel. Below it the edge list is short and the tree backend's one-shot
+// unites (no repeated rounds, no re-reads of settled edges) win; above it
+// the unite loop serializes on long find chains through the shared parent
+// array while the SV rounds stay embarrassingly parallel, converging in
+// O(log chain) rounds. 1/8 — an edge every 8 boundary pixels — separates
+// the blob-like catalog patterns (a handful of edges per boundary) from the
+// component-dense ones (spiral walls, bar and checker grids: an edge every
+// 2-4 pixels).
+const svAutoDensity = 0.125
+
+// resolveMerge returns the backend Phase 2 actually runs: an explicit
+// SetMerge choice wins, MergeAuto measures the extracted edge count against
+// the boundary area.
+func (e *Engine) resolveMerge(n, W int) Merge {
+	if e.merge != MergeAuto {
+		return e.merge
+	}
+	var edges int
+	for w := 0; w < W; w++ {
+		edges += len(e.dirty[w]) / 2
+	}
+	if float64(edges) >= svAutoDensity*float64((W-1)*n) {
+		return MergeSV
+	}
+	return MergeTree
+}
+
+// treeResolve is the paper-shaped Phase 2b: every worker feeds its edge
+// slab to the concurrent union-find, one unite per edge. Boundaries are
+// independent, but a strip's labels can reach two boundaries, so the
+// union-find must be (and is) safe for concurrent unites. Per-worker link
+// counts (unites that joined two distinct sets) land in e.links.
+func (e *Engine) treeResolve(W int) {
+	e.parallelDo(W, func(w int) {
+		e.checkFault("border_merge", w, 2)
+		edges := e.dirty[w]
+		links := 0
+		for k := 0; k+1 < len(edges); k += 2 {
+			if k&8191 == 0 && e.cancelable && e.stop.Load() {
+				break
+			}
+			if e.uf.unite(edges[k], edges[k+1]) {
+				links++
+			}
+		}
+		e.links[w] = links
+	})
+}
+
+// svResolve is the Shiloach-Vishkin Phase 2b (SNIPPETS Snippet 1 shape,
+// with the Liu-Tarjan write-min refinement): repeated rounds of
+//
+//	hook     — for every boundary edge, lower the larger endpoint's
+//	           effective parent toward the smaller endpoint's (write-min
+//	           CAS, no find chains);
+//	compress — pointer-jump every edge endpoint one level toward its root;
+//
+// until a round changes nothing. Each worker sweeps only its own edge slab,
+// so rounds are barrier-synchronized full-parallel passes with no locks.
+//
+// Convergence: every write strictly decreases one parent entry of a
+// strictly-decreasing-parent forest, so the rounds terminate; at the fixed
+// point hook guarantees both endpoints of every edge share a root and
+// compress guarantees the trees are stars. The minimum label of a boundary
+// component never acquires a parent (hook only writes smaller values and
+// none exists), so every root is its component's minimum seed label —
+// exactly the forest treeResolve builds, hence the same labeling.
+//
+// Link accounting: a node leaves the root state (parent 0 -> nonzero) at
+// most once, and at convergence a boundary component of k distinct labels
+// has exactly k-1 non-roots, so counting those first hooks per worker makes
+// "strip components minus links" the final component count, same as the
+// tree backend's unite-returned-true count.
+func (e *Engine) svResolve(W int) {
+	round := 0
+	for {
+		round++
+		r := round
+		e.parallelDo(W, func(w int) {
+			e.checkFault("sv_round", w, r)
+			edges := e.dirty[w]
+			changed := false
+			links := 0
+			for k := 0; k+1 < len(edges); k += 2 {
+				if k&8191 == 0 && e.cancelable && e.stop.Load() {
+					return
+				}
+				a, b := e.uf.step(edges[k]), e.uf.step(edges[k+1])
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				if first, ok := e.uf.hookMin(b, a); ok {
+					changed = true
+					if first {
+						links++
+					}
+				}
+			}
+			for k := 0; k < len(edges); k++ {
+				if e.uf.shortcut(edges[k]) {
+					changed = true
+				}
+			}
+			e.links[w] += links
+			e.svchanged[w] = changed
+		})
+		if e.cancelable && e.stop.Load() {
+			return
+		}
+		any := false
+		for w := 0; w < W; w++ {
+			any = any || e.svchanged[w]
+			e.svchanged[w] = false
+		}
+		if !any {
+			break
+		}
+	}
+	e.svRounds = round
+}

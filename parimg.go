@@ -113,6 +113,8 @@ type (
 	Report = bdm.Report
 	// Algo selects the host-parallel strip labeling algorithm.
 	Algo = par.Algo
+	// Merge selects the host-parallel border-merge backend.
+	Merge = par.Merge
 	// Metrics is the observability document of one run: per-phase times,
 	// operation counters and modeled communication volume, serialized as
 	// the MetricsSchema JSON format by the commands' -metrics flag.
@@ -160,6 +162,25 @@ const (
 
 // ParseAlgo resolves an -algo flag value ("auto", "bfs", "runs").
 func ParseAlgo(s string) (Algo, error) { return par.ParseAlgo(s) }
+
+// Host-parallel border-merge backends (LabelOptions.Merge; honored by the
+// host-parallel backend only). After the per-strip labeling, the cross-strip
+// boundaries are reduced to a deduplicated union-edge list — by intersecting
+// the strips' boundary run lists when the run engine labeled them, per pixel
+// otherwise — and then resolved either by feeding each edge to the
+// concurrent union-find (MergeTree, the paper-shaped backend) or by
+// Shiloach-Vishkin hook-and-compress rounds over the shared parent array
+// (MergeSV, which wins on component-dense boundaries). MergeAuto, the
+// default, picks per run from the measured boundary-edge density. Every
+// choice produces the exact labeling of LabelSequential.
+const (
+	MergeAuto = par.MergeAuto
+	MergeTree = par.MergeTree
+	MergeSV   = par.MergeSV
+)
+
+// ParseMerge resolves a -merge flag value ("auto", "tree", "sv").
+func ParseMerge(s string) (Merge, error) { return par.ParseMerge(s) }
 
 // The nine scalable binary test patterns of the paper's Figure 1.
 const (
@@ -398,6 +419,11 @@ type LabelOptions struct {
 	// backend (LabelParallel / ParallelEngine); the simulator ignores it.
 	// Default AlgoAuto: the run-based engine for both Binary and Grey.
 	Algo Algo
+	// Merge selects the border-merge backend of the host-parallel backend
+	// (LabelParallel / ParallelEngine); the simulator ignores it. Default
+	// MergeAuto: tree unites for sparse boundaries, Shiloach-Vishkin
+	// rounds when the measured boundary-edge density is high.
+	Merge Merge
 	// Metrics, when non-nil, receives the run's phase times and operation
 	// counters. Honored by LabelParallel; Simulator.Label instead uses the
 	// recorder installed with Simulator.SetObserver.
@@ -607,18 +633,18 @@ func LabelSequentialErr(im *Image, conn Connectivity, mode Mode) (*Labels, error
 // GOMAXPROCS worker goroutines for real wall-clock speedup, with border
 // merges resolved by a concurrent union-find instead of a simulated
 // message-passing machine. The labeling is pixel-for-pixel identical to
-// LabelSequential (and to Simulator.Label). Only Conn, Mode and Algo of
-// the options are honored — the remaining fields configure simulator-only
-// ablations. Safe for concurrent use.
+// LabelSequential (and to Simulator.Label). Only Conn, Mode, Algo and
+// Merge of the options are honored — the remaining fields configure
+// simulator-only ablations. Safe for concurrent use.
 func LabelParallel(im *Image, opt LabelOptions) *Labels {
 	conn := opt.Conn
 	if conn == 0 {
 		conn = Conn8
 	}
 	if opt.Metrics != nil {
-		return par.LabelObserved(opt.Metrics, opt.Algo, im, conn, opt.Mode)
+		return par.LabelObserved(opt.Metrics, opt.Algo, opt.Merge, im, conn, opt.Mode)
 	}
-	return par.LabelWith(opt.Algo, im, conn, opt.Mode)
+	return par.LabelWith(opt.Algo, opt.Merge, im, conn, opt.Mode)
 }
 
 // LabelParallelErr is LabelParallel with typed validation instead of
@@ -634,14 +660,14 @@ func LabelParallelErr(im *Image, opt LabelOptions) (*Labels, error) {
 	}
 	if opt.Context != nil {
 		if opt.Metrics != nil {
-			return par.LabelObservedContext(opt.Context, opt.Metrics, opt.Algo, im, conn, opt.Mode)
+			return par.LabelObservedContext(opt.Context, opt.Metrics, opt.Algo, opt.Merge, im, conn, opt.Mode)
 		}
-		return par.LabelContext(opt.Context, opt.Algo, im, conn, opt.Mode)
+		return par.LabelContext(opt.Context, opt.Algo, opt.Merge, im, conn, opt.Mode)
 	}
 	if opt.Metrics != nil {
-		return par.LabelObservedErr(opt.Metrics, opt.Algo, im, conn, opt.Mode)
+		return par.LabelObservedErr(opt.Metrics, opt.Algo, opt.Merge, im, conn, opt.Mode)
 	}
-	return par.LabelWithErr(opt.Algo, im, conn, opt.Mode)
+	return par.LabelWithErr(opt.Algo, opt.Merge, im, conn, opt.Mode)
 }
 
 // LabelContext is LabelParallelErr bounded by ctx (which takes precedence
