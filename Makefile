@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-short bench-json bench-diff fuzz-short chaos-short experiments examples clean
+.PHONY: all build test race cover bench bench-short bench-json bench-diff fuzz-short chaos-short serve-smoke experiments examples clean
 
 all: build test
 
@@ -59,8 +59,15 @@ fuzz-short:
 # host-parallel matrix with the Shiloach-Vishkin border merge forced, so
 # both merge backends face the same fault schedule.
 chaos-short:
-	$(GO) test -race -timeout 5m -run 'Chaos|Injected|Watchdog|RunContext|LabelContext|HistogramContext|Abort|Timeout|Checkpoint' . ./internal/bdm/ ./internal/par/ ./internal/hist/ ./internal/cc/ ./internal/cli/ ./internal/fault/...
+	$(GO) test -race -timeout 5m -run 'Chaos|Injected|Watchdog|RunContext|LabelContext|HistogramContext|Abort|Timeout|Checkpoint|Deadline|Saturation|Shutdown' . ./internal/bdm/ ./internal/par/ ./internal/hist/ ./internal/cc/ ./internal/cli/ ./internal/fault/... ./internal/serve/
 	$(GO) test -race -timeout 5m -run 'Chaos|Injected|Scrub|LabelContext|HistogramContext' ./internal/par/ -merge=sv
+
+# End-to-end smoke test of the labeling service: build and start imgccd,
+# wait for /healthz, POST the DARPA benchmark scene, diff the census
+# response against the committed golden, and validate the scraped /metrics
+# through the schema checker (used by the CI serve-smoke job).
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Regenerate the committed experiment artifacts: the captured
 # cmd/experiments output and the phasereport tables in EXPERIMENTS.md

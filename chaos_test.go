@@ -8,6 +8,7 @@ import (
 
 	"parimg/internal/fault"
 	"parimg/internal/fault/leakcheck"
+	"parimg/internal/serve"
 )
 
 // The chaos matrix: every fault class (panic, delay, no-show, cancel,
@@ -228,6 +229,102 @@ func TestChaosMatrixParallel(t *testing.T) {
 			t.Fatalf("err %v lacks a positive After duration", err)
 		}
 		requireParCleanAfterFault(t, eng, im)
+	})
+}
+
+// TestChaosMatrixServer is the serving-runtime row of the chaos matrix:
+// every fault class lands on an engine rented by a serve.Server runner, and
+// each cell asserts the documented sentinel plus that the server keeps
+// serving pixel-exact labelings afterwards — a panicking worker must cost
+// one request, never the process or the pool.
+func TestChaosMatrixServer(t *testing.T) {
+	leakcheck.Check(t)
+	im := GeneratePattern(DualSpiral, 64)
+	want := LabelSequential(im, Conn8, Binary)
+	// One runner, two strip workers (the fault sites only exist on
+	// multi-worker engines), oversubscribed so the config passes the core
+	// budget policy on any host.
+	srv, err := serve.New(serve.Config{Engines: 1, EngineWorkers: 2, Oversubscribe: 64, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	requireServerHealthy := func(t *testing.T) {
+		t.Helper()
+		res, err := srv.Do(context.Background(), serve.Job{Image: im})
+		if err != nil {
+			t.Fatalf("clean request after fault: %v", err)
+		}
+		for i := range want.Lab {
+			if res.Labels.Lab[i] != want.Lab[i] {
+				t.Fatalf("pixel %d: served label %d, want %d after fault", i, res.Labels.Lab[i], want.Lab[i])
+			}
+		}
+	}
+
+	t.Run("panic", func(t *testing.T) {
+		inj := fault.New(1, fault.Panic, 1).At("strip_label").OnRank(1)
+		_, err := srv.Do(context.Background(), serve.Job{Image: im, Fault: inj})
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("err = %v, want ErrAborted", err)
+		}
+		var injected *fault.Injected
+		if !errors.As(err, &injected) {
+			t.Fatalf("err %v does not wrap the injected fault", err)
+		}
+		requireServerHealthy(t)
+	})
+
+	t.Run("delay", func(t *testing.T) {
+		inj := fault.New(1, fault.Delay, 1).At("strip_label").OnRank(0).
+			WithDelay(2 * time.Millisecond)
+		res, err := srv.Do(context.Background(), serve.Job{Image: im, Fault: inj})
+		if err != nil {
+			t.Fatalf("delay fault must not fail the request: %v", err)
+		}
+		if inj.Injections() == 0 {
+			t.Error("delay fault never fired")
+		}
+		for i := range want.Lab {
+			if res.Labels.Lab[i] != want.Lab[i] {
+				t.Fatalf("pixel %d differs under delay fault", i)
+			}
+		}
+	})
+
+	t.Run("no-show", func(t *testing.T) {
+		inj := fault.New(1, fault.NoShow, 1).At("strip_label").OnRank(1)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		if _, err := srv.Do(ctx, serve.Job{Image: im, Fault: inj}); !errors.Is(err, ErrDeadline) {
+			t.Fatalf("err = %v, want ErrDeadline", err)
+		}
+		requireServerHealthy(t)
+	})
+
+	t.Run("cancel", func(t *testing.T) {
+		inj := fault.New(1, fault.Delay, 1).At("strip_label").OnRank(0).
+			WithDelay(50 * time.Millisecond)
+		ctx, cancel := context.WithCancel(context.Background())
+		timer := time.AfterFunc(5*time.Millisecond, cancel)
+		defer timer.Stop()
+		defer cancel()
+		if _, err := srv.Do(ctx, serve.Job{Image: im, Fault: inj}); !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+		requireServerHealthy(t)
+	})
+
+	t.Run("deadline", func(t *testing.T) {
+		inj := fault.New(1, fault.Delay, 1).At("strip_label").OnRank(0).
+			WithDelay(50 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		defer cancel()
+		if _, err := srv.Do(ctx, serve.Job{Image: im, Fault: inj}); !errors.Is(err, ErrDeadline) {
+			t.Fatalf("err = %v, want ErrDeadline", err)
+		}
+		requireServerHealthy(t)
 	})
 }
 

@@ -1,0 +1,53 @@
+// Command metricscheck validates parimg-metrics/v1 JSON files: each
+// argument must be a single metrics document or an array of them (the
+// forms written by the -metrics flags and served by imgccd's /metrics),
+// and every document must pass the schema validator. It is the CI
+// serve-smoke job's scraper check:
+//
+//	curl -s localhost:8080/metrics > metrics.json
+//	go run ./cmd/metricscheck metrics.json
+//
+// Exit code 0 means every file validated; any failure prints a one-line
+// "metricscheck: ..." error and exits 1.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"parimg/internal/cli"
+	"parimg/internal/errs"
+	"parimg/internal/obs"
+)
+
+func main() { os.Exit(cli.Run("metricscheck", run)) }
+
+func run() error {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return errs.Bad("metricscheck", "usage: metricscheck FILE.json [FILE.json ...]")
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// Sniff the form so a validation failure inside an array is
+		// reported as such, not as a failed fallback parse.
+		if trimmed := bytes.TrimLeft(data, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
+			ms, err := obs.ReadFileList(path)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: ok (%d documents)\n", path, len(ms))
+			continue
+		}
+		if _, err := obs.ReadFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("%s: ok (1 document)\n", path)
+	}
+	return nil
+}

@@ -106,6 +106,19 @@ const (
 	SeedUsage = "seed for random images"
 	// TimeoutUsage is the help text of the -timeout flag.
 	TimeoutUsage = "abort the run after this duration (e.g. 30s; 0 disables) and exit with code 2"
+
+	// AddrUsage is the help text of imgccd's -addr flag.
+	AddrUsage = "listen address for the HTTP server"
+	// EnginesUsage is the help text of imgccd's -engines flag.
+	EnginesUsage = "concurrent label tasks (runner goroutines, one rented engine each; <= 0 derives from the core budget)"
+	// EngineWorkersUsage is the help text of imgccd's -engine-workers flag.
+	EngineWorkersUsage = "strip workers per engine (<= 0 selects 1); engines x engine-workers must fit ceil(GOMAXPROCS x oversub)"
+	// OversubUsage is the help text of imgccd's -oversub flag.
+	OversubUsage = "core budget multiplier: engines x engine-workers may use up to ceil(GOMAXPROCS x this)"
+	// QueueUsage is the help text of imgccd's -queue flag.
+	QueueUsage = "admission queue depth; requests beyond it are rejected with 429 (<= 0 selects 2 x engines)"
+	// RequestDeadlineUsage is the help text of imgccd's -request-deadline flag.
+	RequestDeadlineUsage = "default per-request labeling deadline (e.g. 30s; 0 disables); requests may set a tighter deadline_ms"
 )
 
 // WorkersFlag registers the canonical -workers flag on fs: name "workers",
@@ -178,6 +191,40 @@ func SeedFlag(fs *flag.FlagSet) *uint64 {
 // TimeoutFlag registers the canonical -timeout flag (default 0, disabled).
 func TimeoutFlag(fs *flag.FlagSet) *time.Duration {
 	return fs.Duration("timeout", 0, TimeoutUsage)
+}
+
+// AddrFlag registers the canonical -addr flag (default ":8080").
+func AddrFlag(fs *flag.FlagSet) *string {
+	return fs.String("addr", ":8080", AddrUsage)
+}
+
+// EnginesFlag registers the canonical -engines flag (default 0, derived).
+func EnginesFlag(fs *flag.FlagSet) *int {
+	return fs.Int("engines", 0, EnginesUsage)
+}
+
+// EngineWorkersFlag registers the canonical -engine-workers flag (default
+// 0, meaning 1). The name is deliberately distinct from -workers: the
+// batch commands' -workers sizes one engine, while the server splits the
+// machine across engines.
+func EngineWorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("engine-workers", 0, EngineWorkersUsage)
+}
+
+// OversubFlag registers the canonical -oversub flag (default 1.0).
+func OversubFlag(fs *flag.FlagSet) *float64 {
+	return fs.Float64("oversub", 1.0, OversubUsage)
+}
+
+// QueueFlag registers the canonical -queue flag (default 0, derived).
+func QueueFlag(fs *flag.FlagSet) *int {
+	return fs.Int("queue", 0, QueueUsage)
+}
+
+// RequestDeadlineFlag registers the canonical -request-deadline flag
+// (default 0, disabled).
+func RequestDeadlineFlag(fs *flag.FlagSet) *time.Duration {
+	return fs.Duration("request-deadline", 0, RequestDeadlineUsage)
 }
 
 // TimeoutContext resolves a parsed -timeout value into the context bounding

@@ -48,9 +48,9 @@ func helpFlags(t *testing.T, name string) map[string]string {
 // again.
 func TestSharedFlagHelpIsIdentical(t *testing.T) {
 	if testing.Short() {
-		t.Skip("builds three commands; skipped in -short mode")
+		t.Skip("builds four commands; skipped in -short mode")
 	}
-	commands := []string{"imgcc", "imghist", "benchjson"}
+	commands := []string{"imgcc", "imghist", "benchjson", "imgccd"}
 	perCmd := make(map[string]map[string]string, len(commands))
 	for _, c := range commands {
 		perCmd[c] = helpFlags(t, c)
@@ -71,11 +71,19 @@ func TestSharedFlagHelpIsIdentical(t *testing.T) {
 	}
 
 	// The canonical shared flags must actually be present where expected.
-	for _, c := range commands {
+	// The server registers its own flag family (-addr, -engines, ...) and
+	// deliberately not -workers, whose batch semantics it splits across
+	// engines; only the batch commands are held to the batch set.
+	for _, c := range []string{"imgcc", "imghist", "benchjson"} {
 		for _, f := range []string{"workers", "metrics"} {
 			if _, ok := perCmd[c][f]; !ok {
 				t.Errorf("%s does not register the shared -%s flag", c, f)
 			}
+		}
+	}
+	for _, f := range []string{"addr", "engines", "engine-workers", "oversub", "queue", "request-deadline"} {
+		if _, ok := perCmd["imgccd"][f]; !ok {
+			t.Errorf("imgccd does not register the -%s flag", f)
 		}
 	}
 	for _, c := range []string{"imgcc", "imghist"} {

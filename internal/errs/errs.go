@@ -74,6 +74,11 @@ var (
 	// context.DeadlineExceeded) or the barrier watchdog declared the run
 	// stalled.
 	ErrDeadline = errors.New("deadline exceeded")
+	// ErrClosed marks a call made after Close: the engine, pool or server
+	// the caller is holding has been shut down and accepts no further runs.
+	// Like the other runtime sentinels it sits outside ErrBadInput — the
+	// same call would have succeeded on a live instance.
+	ErrClosed = errors.New("closed")
 )
 
 // InputError is a structured input-validation failure: the operation that
@@ -227,6 +232,12 @@ func Canceled(op string, after time.Duration, format string, args ...any) error 
 func Deadline(op string, after time.Duration, cause error, format string, args ...any) error {
 	return &RunError{Op: op, Kind: ErrDeadline, After: after, Cause: cause,
 		Detail: fmt.Sprintf(format, args...)}
+}
+
+// Closed returns an ErrClosed run error for a call made on an instance that
+// has been shut down.
+func Closed(op string) error {
+	return &RunError{Op: op, Kind: ErrClosed, Detail: "called after Close"}
 }
 
 // FromContext maps a non-nil context error to the matching run error:

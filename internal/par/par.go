@@ -133,6 +133,14 @@ type Engine struct {
 	svchanged []bool
 	svRounds  int
 
+	// Lifecycle state. callMu is held for the duration of every
+	// Label/Histogram call (begin locks it, end releases it), which is what
+	// gives Close its drain semantics: closing waits on the mutex until the
+	// in-flight call has retired. closed is checked under callMu by begin,
+	// so a closed engine fails every subsequent call with errs.ErrClosed.
+	callMu sync.Mutex
+	closed atomic.Bool
+
 	// Cancellation and fault-injection state. All of it is inert — one
 	// atomic store and a nil check per call — unless the call carries a
 	// context or the engine has an injector installed.
@@ -271,12 +279,18 @@ func (e *Engine) guard(i int, fn func(int)) {
 	fn(i)
 }
 
-// begin prepares one Label/Histogram call: clears the previous call's
-// cancellation state and, when the call carries a context, starts the
-// monitor goroutine that turns context expiry into the stop flag. Returns
-// the mapped context error if ctx is already done. The nil-context path
-// allocates nothing.
+// begin prepares one Label/Histogram call: takes the call mutex (released
+// by end, or here on the error paths), rejects calls on a closed engine,
+// clears the previous call's cancellation state and, when the call carries
+// a context, starts the monitor goroutine that turns context expiry into
+// the stop flag. Returns the mapped context error if ctx is already done.
+// The nil-context path allocates nothing.
 func (e *Engine) begin(op string, ctx context.Context) error {
+	e.callMu.Lock()
+	if e.closed.Load() {
+		e.callMu.Unlock()
+		return errs.Closed(op)
+	}
 	e.runOp = op
 	for i := range e.wpanic {
 		e.wpanic[i] = nil
@@ -287,6 +301,7 @@ func (e *Engine) begin(op string, ctx context.Context) error {
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
+		e.callMu.Unlock()
 		return errs.FromContext(op, 0, err)
 	}
 	e.runCtx = ctx
@@ -312,7 +327,9 @@ func (e *Engine) begin(op string, ctx context.Context) error {
 // exit: if the context expired as the call was finishing, the monitor may
 // have committed to its stop.Store branch but not executed it yet, and
 // without the join that late store would poison the engine's next call.
-// Always paired with a successful begin; safe when begin started no monitor.
+// Releasing the call mutex last is what lets Close observe a fully retired
+// call. Always paired with a successful begin; safe when begin started no
+// monitor.
 func (e *Engine) end() {
 	if e.monitor != nil {
 		close(e.monitor)
@@ -320,6 +337,7 @@ func (e *Engine) end() {
 		e.monitor, e.monGone = nil, nil
 	}
 	e.runCtx = nil
+	e.callMu.Unlock()
 }
 
 // interrupted reports whether the current call should stop: a worker
@@ -357,9 +375,15 @@ func (e *Engine) runError() error {
 		}
 	}
 	if err == nil && e.stop.Load() {
-		// The stop flag without a context error or panic means an
-		// injected no-show was released; report it as an abort.
-		err = errs.Aborted(e.runOp, nil, "run stopped by injected fault")
+		if e.closed.Load() {
+			// Close raised the stop flag under the caller's feet; the
+			// in-flight run unwound at its next checkpoint.
+			err = errs.Closed(e.runOp)
+		} else {
+			// The stop flag without a context error or panic means an
+			// injected no-show was released; report it as an abort.
+			err = errs.Aborted(e.runOp, nil, "run stopped by injected fault")
+		}
 	}
 	if err != nil {
 		e.obs.MarkAborted(err.Error())
@@ -406,7 +430,51 @@ func (e *Engine) stopFlag() *atomic.Bool {
 	return nil
 }
 
-var enginePool = sync.Pool{New: func() any { return NewEngine(0) }}
+// Close shuts the engine down and waits for any in-flight call to retire:
+// it marks the engine closed (every subsequent Label/Histogram call fails
+// with an error wrapping errs.ErrClosed), raises the stop flag so an
+// interruptible in-flight run unwinds at its next cancellation checkpoint
+// and returns errs.ErrClosed to its caller, then blocks on the call mutex
+// until that call has fully retired — including its context monitor
+// goroutine, which is what lets a leak checker assert quiescence right
+// after Close returns. A non-interruptible in-flight call (no context, no
+// injector) never polls the flag and simply runs to completion; Close
+// waits for it. While draining, the engine's heavy scratch (planes,
+// union-find, per-worker labelers) is released to the collector.
+// Idempotent and safe to call concurrently with Label/Histogram; always
+// returns nil.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil // already closed; a prior Close did (or is doing) the drain
+	}
+	e.stop.Store(true)
+	e.callMu.Lock()
+	// Drop the arena-sized scratch while we hold the mutex: the engine can
+	// never run again, so the planes, union-find and per-worker state are
+	// dead weight a pooled deployment should not keep pinned.
+	e.bp = image.Bitplane{}
+	e.bytep = image.Byteplane{}
+	e.uf = cuf{}
+	for i := range e.labelers {
+		e.labelers[i] = seq.Labeler{}
+		e.runners[i] = seq.RunLabeler{}
+		e.dirty[i] = nil
+		e.shards[i] = nil
+	}
+	e.obs = nil
+	e.fault = nil
+	e.callMu.Unlock()
+	return nil
+}
+
+// Closed reports whether Close has been called.
+func (e *Engine) Closed() bool { return e.closed.Load() }
+
+// defaultPool serves the package-level convenience functions: engines with
+// GOMAXPROCS workers, rented per call. Unlike a sync.Pool it is never
+// drained by the collector, which keeps the steady-state allocation
+// guarantees of the package functions intact.
+var defaultPool = NewPool(0)
 
 // Label labels im's connected components on a pooled engine with GOMAXPROCS
 // workers, AlgoAuto dispatch and MergeAuto border resolution. The result is
@@ -419,8 +487,8 @@ func Label(im *image.Image, conn image.Connectivity, mode seq.Mode) *image.Label
 // result is identical to seq.LabelBFS for every combination. Safe for
 // concurrent use.
 func LabelWith(algo Algo, merge Merge, im *image.Image, conn image.Connectivity, mode seq.Mode) *image.Labels {
-	e := enginePool.Get().(*Engine)
-	defer enginePool.Put(e)
+	e := defaultPool.rent()
+	defer defaultPool.Return(e)
 	e.SetAlgo(algo)
 	e.SetMerge(merge)
 	return e.Label(im, conn, mode)
@@ -431,8 +499,8 @@ func LabelWith(algo Algo, merge Merge, im *image.Image, conn image.Connectivity,
 // the 32-bit seed labels), unknown connectivities and unknown modes return
 // errors from the errs taxonomy. Safe for concurrent use.
 func LabelWithErr(algo Algo, merge Merge, im *image.Image, conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
-	e := enginePool.Get().(*Engine)
-	defer enginePool.Put(e)
+	e := defaultPool.rent()
+	defer defaultPool.Return(e)
 	e.SetAlgo(algo)
 	e.SetMerge(merge)
 	return e.LabelErr(im, conn, mode)
@@ -444,12 +512,11 @@ func LabelWithErr(algo Algo, merge Merge, im *image.Image, conn image.Connectivi
 // callers sharing one recorder interleave their phase records.
 func LabelObserved(r *obs.Recorder, algo Algo, merge Merge, im *image.Image,
 	conn image.Connectivity, mode seq.Mode) *image.Labels {
-	e := enginePool.Get().(*Engine)
-	defer enginePool.Put(e)
+	e := defaultPool.rent()
+	defer defaultPool.Return(e)
 	e.SetAlgo(algo)
 	e.SetMerge(merge)
 	e.SetObserver(r)
-	defer e.SetObserver(nil)
 	return e.Label(im, conn, mode)
 }
 
@@ -457,20 +524,19 @@ func LabelObserved(r *obs.Recorder, algo Algo, merge Merge, im *image.Image,
 // panics; see LabelWithErr for the rejected inputs. Safe for concurrent use.
 func LabelObservedErr(r *obs.Recorder, algo Algo, merge Merge, im *image.Image,
 	conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
-	e := enginePool.Get().(*Engine)
-	defer enginePool.Put(e)
+	e := defaultPool.rent()
+	defer defaultPool.Return(e)
 	e.SetAlgo(algo)
 	e.SetMerge(merge)
 	e.SetObserver(r)
-	defer e.SetObserver(nil)
 	return e.LabelErr(im, conn, mode)
 }
 
 // Histogram computes im's k-bucket histogram on a pooled engine with
 // GOMAXPROCS workers. Safe for concurrent use.
 func Histogram(im *image.Image, k int) ([]int64, error) {
-	e := enginePool.Get().(*Engine)
-	defer enginePool.Put(e)
+	e := defaultPool.rent()
+	defer defaultPool.Return(e)
 	return e.Histogram(im, k)
 }
 
@@ -481,8 +547,8 @@ func Histogram(im *image.Image, k int) ([]int64, error) {
 // use.
 func LabelContext(ctx context.Context, algo Algo, merge Merge, im *image.Image,
 	conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
-	e := enginePool.Get().(*Engine)
-	defer enginePool.Put(e)
+	e := defaultPool.rent()
+	defer defaultPool.Return(e)
 	e.SetAlgo(algo)
 	e.SetMerge(merge)
 	return e.LabelContext(ctx, im, conn, mode)
@@ -495,19 +561,18 @@ func LabelContext(ctx context.Context, algo Algo, merge Merge, im *image.Image,
 // use, with the same recorder-sharing caveat as LabelObserved.
 func LabelObservedContext(ctx context.Context, r *obs.Recorder, algo Algo, merge Merge, im *image.Image,
 	conn image.Connectivity, mode seq.Mode) (*image.Labels, error) {
-	e := enginePool.Get().(*Engine)
-	defer enginePool.Put(e)
+	e := defaultPool.rent()
+	defer defaultPool.Return(e)
 	e.SetAlgo(algo)
 	e.SetMerge(merge)
 	e.SetObserver(r)
-	defer e.SetObserver(nil)
 	return e.LabelContext(ctx, im, conn, mode)
 }
 
 // HistogramContext is Histogram with cooperative cancellation; see
 // LabelContext for the error contract. Safe for concurrent use.
 func HistogramContext(ctx context.Context, im *image.Image, k int) ([]int64, error) {
-	e := enginePool.Get().(*Engine)
-	defer enginePool.Put(e)
+	e := defaultPool.rent()
+	defer defaultPool.Return(e)
 	return e.HistogramContext(ctx, im, k)
 }

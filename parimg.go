@@ -82,6 +82,9 @@ var (
 	// ErrDeadline marks a run stopped by a context deadline or by the
 	// simulator's barrier-stall watchdog (SetWatchdog).
 	ErrDeadline = errs.ErrDeadline
+	// ErrClosed marks a call on a ParallelEngine after Close (including an
+	// in-flight cancelable run that Close unwound at its next checkpoint).
+	ErrClosed = errs.ErrClosed
 )
 
 // RunError is the concrete error type behind the runtime sentinels: it
@@ -699,7 +702,12 @@ func HistogramContext(ctx context.Context, im *Image, k int) ([]int64, error) {
 // count (<= 0 selects GOMAXPROCS) and reusable scratch, for callers that
 // label or histogram repeatedly and want to pin the parallelism. The
 // engine is not safe for concurrent use; the package-level LabelParallel
-// and HistogramParallel draw pooled engines and are.
+// and HistogramParallel draw pooled engines and are. Long-lived programs
+// that create engines dynamically should retire them with Close, the
+// counterpart of Simulator.Close: it drains any in-flight run (raising
+// its stop flag, so cancelable runs unwind at the next checkpoint with
+// ErrClosed), releases the scratch planes, and makes every later call
+// return ErrClosed.
 func NewParallelEngine(workers int) *ParallelEngine { return par.NewEngine(workers) }
 
 // ParallelEngine is a reusable host-parallel executor; see NewParallelEngine.

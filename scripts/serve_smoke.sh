@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the labeling service, used by `make serve-smoke`
+# and the CI serve-smoke job:
+#
+#   1. build and start imgccd on a local port,
+#   2. wait for /healthz to answer ok,
+#   3. POST darpa_before.pgm (mode=grey&census=1) and diff the response
+#      against the committed golden testdata/serve_darpa_census.json,
+#   4. exercise the backpressure path's headers are sane (a plain request
+#      must NOT carry Retry-After),
+#   5. scrape /metrics and validate every document through the schema
+#      checker (cmd/metricscheck).
+#
+# Needs: go, curl. Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${IMGCCD_ADDR:-127.0.0.1:18080}"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building imgccd"
+go build -o "$WORKDIR/imgccd" ./cmd/imgccd
+
+echo "serve-smoke: starting imgccd on $ADDR"
+"$WORKDIR/imgccd" -addr "$ADDR" -engines 2 -oversub 64 >"$WORKDIR/imgccd.log" 2>&1 &
+SERVER_PID=$!
+
+echo "serve-smoke: waiting for /healthz"
+for i in $(seq 1 100); do
+    if curl -sf "http://$ADDR/healthz" >"$WORKDIR/healthz.json" 2>/dev/null; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "serve-smoke: imgccd died during startup:" >&2
+        cat "$WORKDIR/imgccd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+grep -q '"status":"ok"' "$WORKDIR/healthz.json" || {
+    echo "serve-smoke: /healthz did not answer ok: $(cat "$WORKDIR/healthz.json")" >&2
+    exit 1
+}
+
+echo "serve-smoke: labeling darpa_before.pgm"
+curl -sf --data-binary @darpa_before.pgm \
+    "http://$ADDR/label?mode=grey&census=1" >"$WORKDIR/census.json"
+diff -u testdata/serve_darpa_census.json "$WORKDIR/census.json" || {
+    echo "serve-smoke: census response differs from the committed golden" >&2
+    exit 1
+}
+
+echo "serve-smoke: checking a clean response carries no Retry-After"
+curl -sf -D "$WORKDIR/headers.txt" --data-binary @darpa_before.pgm \
+    "http://$ADDR/label?mode=grey" >/dev/null
+if grep -qi '^retry-after:' "$WORKDIR/headers.txt"; then
+    echo "serve-smoke: 200 response unexpectedly carries Retry-After" >&2
+    exit 1
+fi
+
+echo "serve-smoke: validating /metrics through the schema checker"
+curl -sf "http://$ADDR/metrics" >"$WORKDIR/metrics.json"
+go run ./cmd/metricscheck "$WORKDIR/metrics.json"
+
+echo "serve-smoke: PASS"
