@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-short bench-json bench-diff fuzz-short chaos-short serve-smoke experiments examples clean
+.PHONY: all build test race cover bench bench-short bench-json bench-diff fuzz-short chaos-short serve-smoke stream-smoke experiments examples clean
 
 all: build test
 
@@ -51,6 +51,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzGreyRunLabelMatchesBFS -fuzztime 30s ./internal/par/
 	$(GO) test -run '^$$' -fuzz FuzzReadPGM -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzPublicAPI -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzStreamPGM -fuzztime 30s ./internal/stream/
 
 # Chaos suite under the race detector: injected panics, delays and
 # barrier no-shows, cooperative cancellation, the barrier watchdog, and
@@ -68,6 +69,13 @@ chaos-short:
 # through the schema checker (used by the CI serve-smoke job).
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# End-to-end smoke test of the out-of-core streaming pipeline: generate a
+# 64x70000 striped PGM bandwise, label it with imgcc -stream, check the
+# known component count, validate the metrics document, and re-stream the
+# 16-bit label PGM in grey mode (used by the CI stream-smoke job).
+stream-smoke:
+	./scripts/stream_smoke.sh
 
 # Regenerate the committed experiment artifacts: the captured
 # cmd/experiments output and the phasereport tables in EXPERIMENTS.md

@@ -10,6 +10,7 @@
 //	imgcc -darpa -grey -machine sp2 -p 64
 //	imgcc -random 0.593 -n 1024 -conn 4
 //	imgcc -pattern dual-spiral -n 1024 -backend par
+//	imgcc -stream -in huge.pgm -band-rows 4096 -out labels.pgm
 //
 // Every failure — a malformed flag, an unreadable or hostile PGM file, an
 // invalid geometry — exits with code 1 and a one-line "imgcc: ..." message
@@ -53,8 +54,16 @@ func run() error {
 		workers     = cli.WorkersFlag(flag.CommandLine)
 		metricsPath = cli.MetricsFlag(flag.CommandLine)
 		timeout     = cli.TimeoutFlag(flag.CommandLine)
+		streaming   = cli.StreamFlag(flag.CommandLine)
+		bandRows    = cli.BandRowsFlag(flag.CommandLine)
+		outFile     = cli.OutFlag(flag.CommandLine)
 	)
 	flag.Parse()
+
+	if *streaming {
+		return runStream(*inFile, *outFile, *bandRows, *conn, *top, *grey,
+			*metricsPath, *timeout)
+	}
 
 	algo, err := parimg.ParseAlgo(*algoName)
 	if err != nil {

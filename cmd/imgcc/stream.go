@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"parimg"
+	"parimg/internal/cli"
+	"parimg/internal/image"
+	"parimg/internal/seq"
+	"parimg/internal/stream"
+)
+
+// runStream is the -stream path: out-of-core labeling of an on-disk PGM
+// in band windows. Unlike the resident backends it reads straight from
+// the file (only -in selects the image), accepts rectangular images, and
+// has no 65535-side ceiling — the 64-bit streaming label space covers
+// images whose pixel count exceeds uint32.
+func runStream(inFile, outFile string, bandRows, conn, top int, grey bool,
+	metricsPath string, timeout time.Duration) error {
+	if inFile == "" {
+		return fmt.Errorf("-stream reads from disk: give it -in FILE")
+	}
+	f, err := os.Open(inFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	ctx, cancel := cli.TimeoutContext(timeout)
+	defer cancel()
+	var rec *parimg.MetricsRecorder
+	if metricsPath != "" {
+		rec = parimg.NewMetricsRecorder()
+	}
+	opt := stream.Options{
+		Conn:     image.Connectivity(conn),
+		BandRows: bandRows,
+		TopK:     top,
+		Context:  ctx,
+		Obs:      rec,
+	}
+	if grey {
+		opt.Mode = seq.Grey
+	}
+
+	var out *os.File
+	if outFile != "" {
+		if out, err = os.Create(outFile); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	var res *stream.Result
+	if out != nil {
+		res, err = stream.Label(f, out, opt)
+	} else {
+		res, err = stream.Label(f, nil, opt)
+	}
+	elapsed := time.Since(start)
+	if out != nil {
+		if cerr := out.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("out-of-core stream, %dx%d image (%d bands of up to %d rows), %v, %v mode\n",
+		res.Width, res.Height, res.Bands, res.BandRows, opt.Conn, opt.Mode)
+	fmt.Printf("%d connected components, %d foreground pixels, wall time %v\n",
+		res.Components, res.Foreground, elapsed)
+	for i, c := range res.Top {
+		fmt.Printf("  #%-2d label %-12d %d pixels\n", i+1, c.Label, c.Size)
+	}
+	if metricsPath != "" {
+		m := rec.Snapshot()
+		m.Command, m.Backend = "imgcc", "stream"
+		m.Image, m.N = inFile, res.Width
+		m.TotalNS = elapsed.Nanoseconds()
+		if err := cli.WriteMetrics(metricsPath, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

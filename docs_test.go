@@ -16,7 +16,7 @@ import (
 // godocPackages are the packages whose exported identifiers must all carry
 // doc comments — the public API and the packages this PR series owns the
 // documentation bar for.
-var godocPackages = []string{".", "internal/par", "internal/obs", "internal/cli", "internal/serve"}
+var godocPackages = []string{".", "internal/par", "internal/obs", "internal/cli", "internal/serve", "internal/stream"}
 
 // TestGodocCoverage fails on any exported top-level identifier — function,
 // method on an exported type, type, constant or variable — that has no doc

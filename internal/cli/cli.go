@@ -106,6 +106,12 @@ const (
 	SeedUsage = "seed for random images"
 	// TimeoutUsage is the help text of the -timeout flag.
 	TimeoutUsage = "abort the run after this duration (e.g. 30s; 0 disables) and exit with code 2"
+	// StreamUsage is the help text of imgcc's -stream flag.
+	StreamUsage = "label the -in PGM out of core in band windows (rectangular and taller-than-65535 images allowed)"
+	// BandRowsUsage is the help text of the -band-rows flag.
+	BandRowsUsage = "rows per band window for -stream (<= 0 derives from a 4Mi-pixel budget)"
+	// OutUsage is the help text of the -out flag.
+	OutUsage = "write the dense-renumbered label PGM to this file (-stream only)"
 
 	// AddrUsage is the help text of imgccd's -addr flag.
 	AddrUsage = "listen address for the HTTP server"
@@ -191,6 +197,21 @@ func SeedFlag(fs *flag.FlagSet) *uint64 {
 // TimeoutFlag registers the canonical -timeout flag (default 0, disabled).
 func TimeoutFlag(fs *flag.FlagSet) *time.Duration {
 	return fs.Duration("timeout", 0, TimeoutUsage)
+}
+
+// StreamFlag registers the canonical -stream flag (default false).
+func StreamFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("stream", false, StreamUsage)
+}
+
+// BandRowsFlag registers the canonical -band-rows flag (default 0, derived).
+func BandRowsFlag(fs *flag.FlagSet) *int {
+	return fs.Int("band-rows", 0, BandRowsUsage)
+}
+
+// OutFlag registers the canonical -out flag (default "", none).
+func OutFlag(fs *flag.FlagSet) *string {
+	return fs.String("out", "", OutUsage)
 }
 
 // AddrFlag registers the canonical -addr flag (default ":8080").

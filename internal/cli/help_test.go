@@ -93,4 +93,10 @@ func TestSharedFlagHelpIsIdentical(t *testing.T) {
 			}
 		}
 	}
+	// The out-of-core streaming family is imgcc-only.
+	for _, f := range []string{"stream", "band-rows", "out"} {
+		if _, ok := perCmd["imgcc"][f]; !ok {
+			t.Errorf("imgcc does not register the -%s flag", f)
+		}
+	}
 }

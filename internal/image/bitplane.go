@@ -33,10 +33,16 @@ func NewBitplane(im *Image) *Bitplane {
 // Reset sizes the bitplane for an n x n image, reusing the backing array
 // when large enough. Word contents are unspecified until SetRows covers
 // them; only growth allocates.
-func (b *Bitplane) Reset(n int) {
-	b.N = n
-	b.WPR = (n + 63) / 64
-	words := n * b.WPR
+func (b *Bitplane) Reset(n int) { b.ResetRect(n, n) }
+
+// ResetRect sizes the bitplane for a rectangular rows x cols tile (the
+// band windows of the streaming pipeline are rarely square), reusing the
+// backing array when large enough. Word contents are unspecified until
+// SetRowsPix covers them; only growth allocates.
+func (b *Bitplane) ResetRect(rows, cols int) {
+	b.N = cols
+	b.WPR = (cols + 63) / 64
+	words := rows * b.WPR
 	if cap(b.Words) < words {
 		b.Words = make([]uint64, words)
 		return
@@ -47,10 +53,15 @@ func (b *Bitplane) Reset(n int) {
 // SetRows packs rows [r0, r1) of im into the bitplane, overwriting every
 // word of those rows (no prior clear needed). Disjoint row ranges may be
 // packed from different goroutines concurrently.
-func (b *Bitplane) SetRows(im *Image, r0, r1 int) {
+func (b *Bitplane) SetRows(im *Image, r0, r1 int) { b.SetRowsPix(im.Pix, r0, r1) }
+
+// SetRowsPix is SetRows over a raw row-major pixel buffer with the plane's
+// own width as its stride — the form the streaming pipeline holds band
+// windows in, where no resident *Image exists.
+func (b *Bitplane) SetRowsPix(pix []uint32, r0, r1 int) {
 	n := b.N
 	for i := r0; i < r1; i++ {
-		row := im.Pix[i*n : (i+1)*n]
+		row := pix[i*n : (i+1)*n]
 		out := b.Words[i*b.WPR : (i+1)*b.WPR]
 		for wi := range out {
 			j0 := wi * 64

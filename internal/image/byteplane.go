@@ -41,10 +41,16 @@ func NewByteplane(im *Image) (*Byteplane, bool) {
 // Reset sizes the byteplane for an n x n image, reusing the backing array
 // when large enough. Word contents are unspecified until SetRows covers
 // them; only growth allocates.
-func (b *Byteplane) Reset(n int) {
-	b.N = n
-	b.WPR = (n + 7) / 8
-	words := n * b.WPR
+func (b *Byteplane) Reset(n int) { b.ResetRect(n, n) }
+
+// ResetRect sizes the byteplane for a rectangular rows x cols tile (the
+// band windows of the streaming pipeline are rarely square), reusing the
+// backing array when large enough. Word contents are unspecified until
+// SetRowsPix covers them; only growth allocates.
+func (b *Byteplane) ResetRect(rows, cols int) {
+	b.N = cols
+	b.WPR = (cols + 7) / 8
+	words := rows * b.WPR
 	if cap(b.Words) < words {
 		b.Words = make([]uint64, words)
 		return
@@ -59,9 +65,16 @@ func (b *Byteplane) Reset(n int) {
 // value comparisons. Disjoint row ranges may be packed from different
 // goroutines concurrently.
 func (b *Byteplane) SetRows(im *Image, r0, r1 int) (wide bool) {
+	return b.SetRowsPix(im.Pix, r0, r1)
+}
+
+// SetRowsPix is SetRows over a raw row-major pixel buffer with the plane's
+// own width as its stride — the form the streaming pipeline holds band
+// windows in, where no resident *Image exists.
+func (b *Byteplane) SetRowsPix(pix []uint32, r0, r1 int) (wide bool) {
 	n := b.N
 	for i := r0; i < r1; i++ {
-		row := im.Pix[i*n : (i+1)*n]
+		row := pix[i*n : (i+1)*n]
 		out := b.Words[i*b.WPR : (i+1)*b.WPR]
 		for wi := range out {
 			j0 := wi * 8

@@ -99,31 +99,25 @@ func pgmInt(br *bufio.Reader, field string) (int, error) {
 	return v, nil
 }
 
+// MaxPGMVal is the largest maxval the P5 format can express: samples above
+// 255 are stored as two big-endian bytes, and the spec caps maxval at two
+// bytes' worth.
+const MaxPGMVal = 65535
+
 // ReadPGM reads a binary (P5) portable greymap, including headers with '#'
-// comment lines. The image must be square with side in (0, MaxSide]. All
+// comment lines. The image must be square with side in (0, MaxSide]. Both
+// sample widths of the format are supported: one byte per pixel for maxval
+// in [1,255] and — per the spec — two big-endian bytes per pixel for maxval
+// in [256,65535], which is the form the labeling service's own 16-bit label
+// PGMs take, so service output round-trips back through this reader. All
 // failures — a bad magic, a malformed or truncated header, non-square or
-// oversized dimensions, a maxval outside [1,255], or missing pixel data —
+// oversized dimensions, a maxval outside [1,65535], or missing pixel data —
 // return typed errors (never a panic), and pixel storage is allocated
 // incrementally as rows arrive, so a crafted header cannot force an
 // allocation larger than the actual input.
 func ReadPGM(r io.Reader) (*Image, error) {
 	br := bufio.NewReader(r)
-	magic, err := pgmToken(br)
-	if err != nil {
-		return nil, errs.Bad("image.ReadPGM", "reading magic: %v", err)
-	}
-	if magic != "P5" {
-		return nil, errs.Bad("image.ReadPGM", "unsupported PGM magic %q", magic)
-	}
-	w, err := pgmInt(br, "width")
-	if err != nil {
-		return nil, err
-	}
-	h, err := pgmInt(br, "height")
-	if err != nil {
-		return nil, err
-	}
-	maxVal, err := pgmInt(br, "maxval")
+	w, h, maxVal, err := readPGMHeader(br, "image.ReadPGM")
 	if err != nil {
 		return nil, err
 	}
@@ -134,22 +128,62 @@ func ReadPGM(r io.Reader) (*Image, error) {
 	if err := checkSide("image.ReadPGM", w); err != nil {
 		return nil, err
 	}
-	if maxVal < 1 || maxVal > 255 {
-		return nil, errs.Bad("image.ReadPGM", "PGM maxval %d outside [1,255]", maxVal)
-	}
 	// The pixel area is bounded (w == h <= MaxSide), but grow the pixel
 	// array row by row anyway: a short stream then fails after buffering at
 	// most one row, instead of committing w*h words up front on the word of
 	// a 20-byte header.
+	sampleBytes := pgmSampleBytes(maxVal)
 	im := &Image{N: w, Pix: make([]uint32, 0, min(w*h, 1<<20))}
-	row := make([]byte, w)
+	row := make([]byte, w*sampleBytes)
 	for y := 0; y < h; y++ {
 		if _, err := io.ReadFull(br, row); err != nil {
 			return nil, errs.Bad("image.ReadPGM", "reading pixel row %d of %d: %v", y, h, err)
 		}
-		for _, b := range row {
-			im.Pix = append(im.Pix, uint32(b))
+		if sampleBytes == 1 {
+			for _, b := range row {
+				im.Pix = append(im.Pix, uint32(b))
+			}
+		} else {
+			for j := 0; j < len(row); j += 2 {
+				im.Pix = append(im.Pix, uint32(row[j])<<8|uint32(row[j+1]))
+			}
 		}
 	}
 	return im, nil
+}
+
+// readPGMHeader parses the P5 magic and the three header fields, validating
+// the maxval range shared by the resident and streaming readers. The
+// dimension checks differ per reader (square+MaxSide here, rectangular
+// bounds for the streaming decoder) and stay with the callers.
+func readPGMHeader(br *bufio.Reader, op string) (w, h, maxVal int, err error) {
+	magic, err := pgmToken(br)
+	if err != nil {
+		return 0, 0, 0, errs.Bad(op, "reading magic: %v", err)
+	}
+	if magic != "P5" {
+		return 0, 0, 0, errs.Bad(op, "unsupported PGM magic %q", magic)
+	}
+	if w, err = pgmInt(br, "width"); err != nil {
+		return 0, 0, 0, err
+	}
+	if h, err = pgmInt(br, "height"); err != nil {
+		return 0, 0, 0, err
+	}
+	if maxVal, err = pgmInt(br, "maxval"); err != nil {
+		return 0, 0, 0, err
+	}
+	if maxVal < 1 || maxVal > MaxPGMVal {
+		return 0, 0, 0, errs.Bad(op, "PGM maxval %d outside [1,%d]", maxVal, MaxPGMVal)
+	}
+	return w, h, maxVal, nil
+}
+
+// pgmSampleBytes returns the per-sample byte width the P5 format prescribes
+// for a maxval: one byte up to 255, two big-endian bytes beyond.
+func pgmSampleBytes(maxVal int) int {
+	if maxVal > 255 {
+		return 2
+	}
+	return 1
 }

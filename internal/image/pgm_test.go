@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -64,8 +65,11 @@ func TestReadPGMHeader(t *testing.T) {
 	if _, err := ReadPGM(strings.NewReader("P5\n2 3\n255\n......")); err == nil {
 		t.Error("non-square image should be rejected")
 	}
-	if _, err := ReadPGM(strings.NewReader("P5\n2 2\n999\n....")); err == nil {
-		t.Error("maxval over 255 should be rejected")
+	if _, err := ReadPGM(strings.NewReader("P5\n2 2\n65536\n........")); err == nil {
+		t.Error("maxval over 65535 should be rejected")
+	}
+	if _, err := ReadPGM(strings.NewReader("P5\n2 2\n999\n......")); err == nil {
+		t.Error("truncated 16-bit pixel data should be rejected")
 	}
 	if _, err := ReadPGM(strings.NewReader("P5\n2 2\n255\nab")); err == nil {
 		t.Error("truncated pixel data should be rejected")
@@ -231,5 +235,69 @@ func TestCensusChecked(t *testing.T) {
 	}
 	if stats, err := NewLabels(4).CensusChecked(im); err != nil || len(stats) != 0 {
 		t.Errorf("empty census: %v, %v", stats, err)
+	}
+}
+
+// TestReadPGM16Bit decodes the two-byte big-endian sample form the P5
+// spec prescribes for maxval above 255 — the form the labeling service's
+// 16-bit label PGMs take, which ReadPGM used to reject outright.
+func TestReadPGM16Bit(t *testing.T) {
+	data := "P5\n2 2\n65535\n" + string([]byte{
+		0x01, 0x00, // 256
+		0x00, 0x02, // 2
+		0xff, 0xff, // 65535
+		0x00, 0x00, // 0
+	})
+	im, err := ReadPGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadPGM 16-bit: %v", err)
+	}
+	want := []uint32{256, 2, 65535, 0}
+	for i, w := range want {
+		if im.Pix[i] != w {
+			t.Errorf("pixel %d = %d, want %d", i, im.Pix[i], w)
+		}
+	}
+}
+
+// TestStreamHeaderMatchesReadPGM pins the streaming header probe and row
+// reader against the resident reader on both sample widths.
+func TestStreamHeaderMatchesReadPGM(t *testing.T) {
+	for _, maxVal := range []int{255, 65535} {
+		n := 4
+		raw := make([]byte, 0, 64)
+		raw = append(raw, []byte("P5\n# c\n4 4\n")...)
+		raw = append(raw, []byte(strconv.Itoa(maxVal))...)
+		raw = append(raw, '\n')
+		for i := 0; i < n*n; i++ {
+			v := (i * 977) % (maxVal + 1)
+			if maxVal > 255 {
+				raw = append(raw, byte(v>>8))
+			}
+			raw = append(raw, byte(v))
+		}
+		im, err := ReadPGM(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("maxval %d: ReadPGM: %v", maxVal, err)
+		}
+		hdr, err := ReadPGMHeader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("maxval %d: ReadPGMHeader: %v", maxVal, err)
+		}
+		if hdr.Width != n || hdr.Height != n || hdr.MaxVal != maxVal {
+			t.Fatalf("maxval %d: header %+v", maxVal, hdr)
+		}
+		for y := 0; y < n; y++ {
+			dst := make([]uint32, n)
+			if _, err := hdr.ReadRows(bytes.NewReader(raw), y, 1, dst, nil); err != nil {
+				t.Fatalf("maxval %d: ReadRows(%d): %v", maxVal, y, err)
+			}
+			for x := 0; x < n; x++ {
+				if dst[x] != im.Pix[y*n+x] {
+					t.Fatalf("maxval %d: pixel (%d,%d): stream %d, resident %d",
+						maxVal, y, x, dst[x], im.Pix[y*n+x])
+				}
+			}
+		}
 	}
 }

@@ -84,6 +84,9 @@ const (
 	// CtrRelabeledPixels counts pixels whose label the final update
 	// rewrote (pixels whose strip-local label was not already the root).
 	CtrRelabeledPixels
+	// CtrBands counts band windows the out-of-core streaming pipeline
+	// decoded and labeled (each pass over the image counts its own bands).
+	CtrBands
 
 	numCounters
 )
@@ -109,6 +112,8 @@ func (c Counter) String() string {
 		return "grey_runs"
 	case CtrRelabeledPixels:
 		return "relabeled_pixels"
+	case CtrBands:
+		return "bands"
 	}
 	return fmt.Sprintf("counter(%d)", int(c))
 }
@@ -159,7 +164,7 @@ type Metrics struct {
 	Schema string `json:"schema"`
 	// Command is the emitting command ("imgcc", "imghist", "benchjson").
 	Command string `json:"command,omitempty"`
-	// Backend is the execution backend ("sim", "par" or "seq").
+	// Backend is the execution backend ("sim", "par", "seq" or "stream").
 	Backend string `json:"backend,omitempty"`
 	// Algo is the host-parallel strip algorithm ("auto", "bfs", "runs").
 	Algo string `json:"algo,omitempty"`

@@ -176,7 +176,7 @@ func TestSnapshotIsIndependentCopy(t *testing.T) {
 
 func TestCounterNamesAreStable(t *testing.T) {
 	names := CounterNames()
-	want := []string{"border_edges", "border_links", "border_pairs",
+	want := []string{"bands", "border_edges", "border_links", "border_pairs",
 		"grey_runs", "relabeled_pixels", "runs", "strip_components",
 		"sv_rounds", "uf_finds"}
 	if len(names) != len(want) {

@@ -283,52 +283,17 @@ func (e *Engine) borderMerge(im *image.Image, out *image.Labels,
 }
 
 // extractPixelEdges is the extraction pass of the BFS path (no run tables):
-// scan the boundary pixel by pixel and append one union edge per adjacent
-// like-pixel pair, deduplicating consecutive repeats — adjacent boundary
-// pixels of one component fragment carry the same label, so a wide overlap
-// emits one edge instead of one per pixel (plus up to three per label
-// change under Conn8), without any lookup structure.
+// scan the boundary pixel by pixel through the shared slab-merge seam,
+// which appends one deduplicated union edge per adjacent like-pixel pair
+// into the worker's private slab.
 func (e *Engine) extractPixelEdges(im *image.Image, out *image.Labels,
 	conn image.Connectivity, mode seq.Mode, w, W, n int) {
 	c, _ := stripBounds(w, W, n)
-	dirty := e.dirty[w][:0]
 	top, bot := (c-1)*n, c*n
-	var pairs int64
-	var lastA, lastB uint32
-	for j := 0; j < n; j++ {
-		if j&1023 == 0 && e.cancelable && e.stop.Load() {
-			break
-		}
-		a := im.Pix[top+j]
-		if a == 0 {
-			continue
-		}
-		jlo, jhi := j, j
-		if conn == image.Conn8 {
-			jlo, jhi = j-1, j+1
-			if jlo < 0 {
-				jlo = 0
-			}
-			if jhi >= n {
-				jhi = n - 1
-			}
-		}
-		for jj := jlo; jj <= jhi; jj++ {
-			b := im.Pix[bot+jj]
-			if b == 0 || !mode.Connected(a, b) {
-				continue
-			}
-			pairs++
-			la, lb := out.Lab[top+j], out.Lab[bot+jj]
-			if la == lastA && lb == lastB {
-				continue
-			}
-			lastA, lastB = la, lb
-			dirty = append(dirty, la, lb)
-		}
-	}
-	e.pairs[w] = pairs
-	e.dirty[w] = dirty
+	e.dirty[w], e.pairs[w] = AppendBoundaryEdges(e.dirty[w][:0],
+		im.Pix[top:bot], im.Pix[bot:bot+n],
+		out.Lab[top:bot], out.Lab[bot:bot+n],
+		conn, mode, e.stopFlag())
 }
 
 // extractRunEdges is the extraction pass of the run path: instead of

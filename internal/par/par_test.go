@@ -209,7 +209,7 @@ func TestUnionFind(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := uint32(1); i < chain; i++ {
-				u.unite(i, i+1)
+				u.Unite(i, i+1)
 			}
 		}(g)
 	}

@@ -81,24 +81,15 @@ func (e *Engine) resolveMerge(n, W int) Merge {
 }
 
 // treeResolve is the paper-shaped Phase 2b: every worker feeds its edge
-// slab to the concurrent union-find, one unite per edge. Boundaries are
-// independent, but a strip's labels can reach two boundaries, so the
-// union-find must be (and is) safe for concurrent unites. Per-worker link
-// counts (unites that joined two distinct sets) land in e.links.
+// slab to the concurrent union-find through the shared ResolveBoundary
+// loop, one Unite per edge. Boundaries are independent, but a strip's
+// labels can reach two boundaries, so the union-find must be (and is) safe
+// for concurrent unites. Per-worker link counts (unites that joined two
+// distinct sets) land in e.links.
 func (e *Engine) treeResolve(W int) {
 	e.parallelDo(W, func(w int) {
 		e.checkFault("border_merge", w, 2)
-		edges := e.dirty[w]
-		links := 0
-		for k := 0; k+1 < len(edges); k += 2 {
-			if k&8191 == 0 && e.cancelable && e.stop.Load() {
-				break
-			}
-			if e.uf.unite(edges[k], edges[k+1]) {
-				links++
-			}
-		}
-		e.links[w] = links
+		e.links[w] = ResolveBoundary(e.dirty[w], &e.uf, e.stopFlag())
 	})
 }
 

@@ -50,7 +50,7 @@ func (u *cuf) find(x uint32) uint32 {
 
 // unite merges the sets of a and b, returning true when the call performed
 // the link (false if they were already one set). Safe to call concurrently.
-func (u *cuf) unite(a, b uint32) bool {
+func (u *cuf) Unite(a, b uint32) bool {
 	for {
 		ra, rb := u.find(a), u.find(b)
 		if ra == rb {

@@ -113,7 +113,7 @@ func TestCufConcurrentUniteCanonical(t *testing.T) {
 			go func(s []uint32) {
 				defer wg.Done()
 				for k := 0; k+1 < len(s); k += 2 {
-					u.unite(s[k], s[k+1])
+					u.Unite(s[k], s[k+1])
 				}
 			}(slab)
 		}
@@ -208,7 +208,7 @@ func TestCufMixedBackendsAgree(t *testing.T) {
 				defer wg.Done()
 				if w%2 == 0 {
 					for k := 0; k+1 < len(s); k += 2 {
-						u.unite(s[k], s[k+1])
+						u.Unite(s[k], s[k+1])
 					}
 					return
 				}
@@ -245,7 +245,7 @@ func TestCufMixedBackendsAgree(t *testing.T) {
 		// state unite workers then advanced; finish deterministically so
 		// the oracle comparison is well-defined.
 		for k := 0; k+1 < len(edges); k += 2 {
-			u.unite(edges[k], edges[k+1])
+			u.Unite(edges[k], edges[k+1])
 		}
 		checkCanonical(t, &u, edges, size, "mixed")
 		checkCleared(t, &u, slabs, "mixed")

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -143,8 +144,11 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	deadline := s.cfg.DefaultDeadline
 	if ms := q.Get("deadline_ms"); ms != "" {
-		v, err := strconv.Atoi(ms)
-		if err != nil || v <= 0 {
+		// Parse as int64 and bound before multiplying: a huge value like
+		// 9300000000000000000 would overflow Duration(v)*Millisecond to a
+		// negative duration, silently disabling the deadline entirely.
+		v, err := strconv.ParseInt(ms, 10, 64)
+		if err != nil || v <= 0 || v > math.MaxInt64/int64(time.Millisecond) {
 			writeError(w, errs.Bad("serve.label", "bad deadline_ms %q", ms))
 			return
 		}
@@ -189,7 +193,9 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 // densely 1..components in row-major first-seen order (background stays
 // 0), so the output fits the format's 16-bit sample ceiling whenever the
 // image has at most 65535 components; beyond that the request fails with
-// 422 before any byte of the body is written.
+// 422 before any byte of the body is written. Both sample widths the
+// renderer emits round-trip through image.ReadPGM (and the streaming
+// reader), so a label PGM can be fed back to the service or pipeline.
 func writeLabelPGM(w http.ResponseWriter, l *image.Labels, components int) error {
 	if components > 65535 {
 		w.Header().Set("Content-Type", "application/json")

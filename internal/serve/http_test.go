@@ -215,6 +215,12 @@ func TestHTTPBadRequests(t *testing.T) {
 		{"bad merge", "/label?merge=blend", good},
 		{"bad out", "/label?out=bmp", good},
 		{"bad deadline", "/label?deadline_ms=soon", good},
+		{"negative deadline", "/label?deadline_ms=-1", good},
+		// Regression: these used to pass the parse and overflow the
+		// Duration multiply to a negative value, silently disabling the
+		// deadline instead of rejecting the request.
+		{"overflowing deadline", "/label?deadline_ms=9223372036854776", good},
+		{"unparseable deadline", "/label?deadline_ms=9300000000000000000", good},
 	} {
 		resp := post(t, ts.URL+tc.url, tc.body)
 		resp.Body.Close()
@@ -298,5 +304,60 @@ func TestHTTPMethodRouting(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /label status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHTTPLabelPGM16BitRoundTrip drives the renderer into its two-byte
+// sample width (more than 255 components) and feeds the response back
+// through image.ReadPGM — the reader used to reject maxval above 255, so
+// the service's own 16-bit output could not be re-ingested.
+func TestHTTPLabelPGM16BitRoundTrip(t *testing.T) {
+	s, ts := startHTTP(t, Config{Engines: 1, EngineWorkers: 1})
+	defer ts.Close()
+	defer s.Close()
+
+	const n = 32 // conn4 checkerboard: n*n/2 = 512 isolated components
+	im := image.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if (i+j)%2 == 0 {
+				im.Set(i, j, 1)
+			}
+		}
+	}
+	want := seq.LabelBFS(im, image.Conn4, seq.Binary)
+	resp := post(t, ts.URL+"/label?conn=4&out=pgm", pgmBytes(t, im))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	if !bytes.HasPrefix(body, []byte("P5\n32 32\n512\n")) {
+		t.Fatalf("16-bit label PGM header = %q", body[:min(len(body), 16)])
+	}
+	got, err := image.ReadPGM(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("16-bit label PGM does not round-trip through ReadPGM: %v", err)
+	}
+	remap := make(map[uint32]uint32)
+	var next uint32
+	for i, lab := range want.Lab {
+		wantVal := uint32(0)
+		if lab != 0 {
+			id, ok := remap[lab]
+			if !ok {
+				next++
+				id = next
+				remap[lab] = id
+			}
+			wantVal = id
+		}
+		if got.Pix[i] != wantVal {
+			t.Fatalf("pixel %d: got %d, want %d", i, got.Pix[i], wantVal)
+		}
 	}
 }

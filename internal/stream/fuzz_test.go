@@ -1,0 +1,50 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"parimg/internal/image"
+)
+
+// FuzzStreamPGM throws arbitrary bytes at the full out-of-core pipeline:
+// header probe, band decoding (both sample widths), labeling, merging and
+// label-PGM emission. Beyond "no panics, typed errors only", every input
+// the pipeline accepts is cross-checked against the resident tile labeler
+// — the streaming result must be pixel-identical however the fuzzer
+// shapes the geometry. The committed corpus pins the two bug classes this
+// package's PR fixed: a two-byte-per-sample P5 (which the resident reader
+// used to reject) and a giant-dimension header over a short body (the
+// allocate-before-validate overflow class).
+func FuzzStreamPGM(f *testing.F) {
+	f.Add([]byte("P5\n3 2\n255\nabcdef"))
+	f.Add([]byte("P5\n2 2\n65535\n\x01\x00\x00\x02\xff\xff\x00\x00"))
+	f.Add([]byte("P5\n# comment\n1 7\n1\n\x00\x01\x00\x01\x01\x00\x01"))
+	f.Add([]byte("P5\n2147483647 2147483647\n255\nx"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		hdr, err := image.ReadPGMHeader(r)
+		if err != nil {
+			return // malformed header: rejected with a typed error
+		}
+		if hdr.Pixels() > 1<<18 {
+			return // data cannot back it (probe rejects); keep iterations fast
+		}
+		var out bytes.Buffer
+		res, err := Label(r, &out, Options{Conn: image.Conn4, BandRows: 3, TopK: 3})
+		if err != nil {
+			return // truncated or overflowing input: typed error, no output
+		}
+		pix := make([]uint32, hdr.Pixels())
+		if _, err := hdr.ReadRows(r, 0, hdr.Height, pix, nil); err != nil {
+			t.Fatalf("accepted input failed a full decode: %v", err)
+		}
+		lab, comps := residentLabels(pix, hdr.Height, hdr.Width, image.Conn4, 0)
+		if res.Components != int64(comps) {
+			t.Fatalf("stream found %d components, resident found %d", res.Components, comps)
+		}
+		if want := renderDense(lab, hdr.Height, hdr.Width, comps); !bytes.Equal(out.Bytes(), want) {
+			t.Fatalf("stream label PGM differs from resident rendering")
+		}
+	})
+}
