@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-short bench-json bench-diff fuzz-short chaos-short serve-smoke stream-smoke experiments examples clean
+.PHONY: all build test race cover bench bench-short bench-json bench-diff fuzz-short chaos-short serve-smoke stream-smoke crash-smoke experiments examples clean
 
 all: build test
 
@@ -60,7 +60,7 @@ fuzz-short:
 # host-parallel matrix with the Shiloach-Vishkin border merge forced, so
 # both merge backends face the same fault schedule.
 chaos-short:
-	$(GO) test -race -timeout 5m -run 'Chaos|Injected|Watchdog|RunContext|LabelContext|HistogramContext|Abort|Timeout|Checkpoint|Deadline|Saturation|Shutdown' . ./internal/bdm/ ./internal/par/ ./internal/hist/ ./internal/cc/ ./internal/cli/ ./internal/fault/... ./internal/serve/
+	$(GO) test -race -timeout 5m -run 'Chaos|Injected|Watchdog|RunContext|LabelContext|HistogramContext|Abort|Timeout|Checkpoint|Resume|Corrupt|Mismatch|Deadline|Saturation|Shutdown' . ./internal/bdm/ ./internal/par/ ./internal/hist/ ./internal/cc/ ./internal/cli/ ./internal/fault/... ./internal/serve/ ./internal/stream/
 	$(GO) test -race -timeout 5m -run 'Chaos|Injected|Scrub|LabelContext|HistogramContext' ./internal/par/ -merge=sv
 
 # End-to-end smoke test of the labeling service: build and start imgccd,
@@ -76,6 +76,13 @@ serve-smoke:
 # 16-bit label PGM in grey mode (used by the CI stream-smoke job).
 stream-smoke:
 	./scripts/stream_smoke.sh
+
+# End-to-end crash/resume smoke test of streaming checkpointing: start a
+# checkpointed run paced to stall mid-image, kill -9 it, resume from the
+# surviving record, and byte-compare the census JSON and label PGM against
+# an uninterrupted reference run (used by the CI crash-smoke job).
+crash-smoke:
+	./scripts/stream_crash_smoke.sh
 
 # Regenerate the committed experiment artifacts: the captured
 # cmd/experiments output and the phasereport tables in EXPERIMENTS.md

@@ -1,14 +1,19 @@
 package parimg
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"parimg/internal/fault"
 	"parimg/internal/fault/leakcheck"
 	"parimg/internal/serve"
+	"parimg/internal/stream"
 )
 
 // The chaos matrix: every fault class (panic, delay, no-show, cancel,
@@ -325,6 +330,98 @@ func TestChaosMatrixServer(t *testing.T) {
 			t.Fatalf("err = %v, want ErrDeadline", err)
 		}
 		requireServerHealthy(t)
+	})
+}
+
+// TestChaosMatrixStream is the out-of-core row of the chaos matrix: an
+// injected crash at a band commit, resume from the surviving checkpoint,
+// and a torn checkpoint record — the streaming pipeline's documented
+// fault classes, each asserted against its typed sentinel, with the
+// resumed output compared byte for byte against an uninterrupted run.
+func TestChaosMatrixStream(t *testing.T) {
+	leakcheck.Check(t)
+	im := GeneratePattern(DualSpiral, 64)
+	var pgm bytes.Buffer
+	fmt.Fprintf(&pgm, "P5\n%d %d\n255\n", im.N, im.N)
+	for _, v := range im.Pix {
+		pgm.WriteByte(byte(v))
+	}
+	base := stream.Options{BandRows: 7, TopK: 5}
+
+	var refOut bytes.Buffer
+	ref, err := stream.Label(bytes.NewReader(pgm.Bytes()), &refOut, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("crash-resume", func(t *testing.T) {
+		ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+		crash := base
+		crash.Checkpoint = ckpt
+		crash.CheckpointEvery = 2
+		crash.Fault = fault.New(1, fault.Crash, 1).At("band_commit").OnRound(6)
+		_, err := stream.Label(bytes.NewReader(pgm.Bytes()), nil, crash)
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("err = %v, want ErrAborted", err)
+		}
+		var injected *fault.Injected
+		if !errors.As(err, &injected) {
+			t.Fatalf("err %v does not wrap the injected fault", err)
+		}
+
+		resume := base
+		resume.Checkpoint = ckpt
+		resume.Resume = true
+		var out bytes.Buffer
+		res, err := stream.Label(bytes.NewReader(pgm.Bytes()), &out, resume)
+		if err != nil {
+			t.Fatalf("resume after crash: %v", err)
+		}
+		if res.Components != ref.Components || res.Foreground != ref.Foreground {
+			t.Fatalf("resumed census %d/%d, want %d/%d",
+				res.Components, res.Foreground, ref.Components, ref.Foreground)
+		}
+		if !bytes.Equal(out.Bytes(), refOut.Bytes()) {
+			t.Fatal("resumed label PGM differs from the uninterrupted run")
+		}
+	})
+
+	t.Run("torn-checkpoint", func(t *testing.T) {
+		ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+		full := base
+		full.Checkpoint = ckpt
+		if _, err := stream.Label(bytes.NewReader(pgm.Bytes()), nil, full); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(ckpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(ckpt, data[:len(data)*2/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		resume := base
+		resume.Checkpoint = ckpt
+		resume.Resume = true
+		if _, err := stream.Label(bytes.NewReader(pgm.Bytes()), nil, resume); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("err = %v, want ErrCheckpointCorrupt", err)
+		}
+	})
+
+	t.Run("foreign-checkpoint", func(t *testing.T) {
+		ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+		full := base
+		full.Checkpoint = ckpt
+		if _, err := stream.Label(bytes.NewReader(pgm.Bytes()), nil, full); err != nil {
+			t.Fatal(err)
+		}
+		resume := base
+		resume.BandRows = 9 // a different decomposition than the record's
+		resume.Checkpoint = ckpt
+		resume.Resume = true
+		if _, err := stream.Label(bytes.NewReader(pgm.Bytes()), nil, resume); !errors.Is(err, ErrCheckpointMismatch) {
+			t.Fatalf("err = %v, want ErrCheckpointMismatch", err)
+		}
 	})
 }
 

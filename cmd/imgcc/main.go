@@ -57,12 +57,21 @@ func run() error {
 		streaming   = cli.StreamFlag(flag.CommandLine)
 		bandRows    = cli.BandRowsFlag(flag.CommandLine)
 		outFile     = cli.OutFlag(flag.CommandLine)
+		checkpoint  = cli.CheckpointFlag(flag.CommandLine)
+		ckptEvery   = cli.CheckpointEveryFlag(flag.CommandLine)
+		resume      = cli.ResumeFlag(flag.CommandLine)
+		censusJSON  = cli.CensusJSONFlag(flag.CommandLine)
 	)
 	flag.Parse()
 
 	if *streaming {
-		return runStream(*inFile, *outFile, *bandRows, *conn, *top, *grey,
-			*metricsPath, *timeout)
+		return runStream(streamConfig{
+			inFile: *inFile, outFile: *outFile, bandRows: *bandRows,
+			conn: *conn, top: *top, grey: *grey,
+			metricsPath: *metricsPath, timeout: *timeout,
+			checkpoint: *checkpoint, checkpointEvery: *ckptEvery,
+			resume: *resume, censusJSON: *censusJSON,
+		})
 	}
 
 	algo, err := parimg.ParseAlgo(*algoName)

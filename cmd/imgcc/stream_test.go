@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parimg/internal/atomicio"
+)
+
+// writeCheckerPGM writes an n x n binary checkerboard PGM to dir — under
+// 4-connectivity every foreground pixel is an isolated component, so a
+// large n overflows the 16-bit label-PGM sample space and makes the
+// stream write pass fail deterministically after a successful census.
+func writeCheckerPGM(t *testing.T, dir string, n int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "P5\n%d %d\n255\n", n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if (i+j)%2 == 0 {
+				buf.WriteByte(255)
+			} else {
+				buf.WriteByte(0)
+			}
+		}
+	}
+	path := filepath.Join(dir, "checker.pgm")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestStreamFailedRunLeavesNoPartialOut is the -out atomicity regression:
+// a run that fails after streaming has begun must leave neither the target
+// file nor the in-flight ".partial" sibling behind. Before -out went
+// through the atomic writer, this scenario left a zero-byte or torn PGM at
+// the target path.
+func TestStreamFailedRunLeavesNoPartialOut(t *testing.T) {
+	dir := t.TempDir()
+	in := writeCheckerPGM(t, dir, 400) // 80000 components > 65535
+	out := filepath.Join(dir, "labels.pgm")
+	err := runStream(streamConfig{inFile: in, outFile: out, bandRows: 64, conn: 4, top: 0})
+	if err == nil {
+		t.Fatal("overflowing run did not fail")
+	}
+	for _, p := range []string{out, out + atomicio.PartialSuffix} {
+		if _, serr := os.Stat(p); !os.IsNotExist(serr) {
+			t.Errorf("failed run left %s behind (stat: %v)", p, serr)
+		}
+	}
+}
+
+// TestStreamSuccessWritesArtifacts covers the success side of the same
+// contract: -out and -census-json land complete, and the partial siblings
+// are gone.
+func TestStreamSuccessWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	in := writeCheckerPGM(t, dir, 64)
+	out := filepath.Join(dir, "labels.pgm")
+	census := filepath.Join(dir, "census.json")
+	err := runStream(streamConfig{
+		inFile: in, outFile: out, bandRows: 16, conn: 8, top: 3, censusJSON: census})
+	if err != nil {
+		t.Fatalf("runStream: %v", err)
+	}
+	pgm, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("no label PGM: %v", err)
+	}
+	if !bytes.HasPrefix(pgm, []byte("P5\n64 64\n")) {
+		t.Fatalf("label PGM header = %q", pgm[:min(16, len(pgm))])
+	}
+	doc, err := os.ReadFile(census)
+	if err != nil {
+		t.Fatalf("no census JSON: %v", err)
+	}
+	if !bytes.Contains(doc, []byte(`"components"`)) {
+		t.Fatalf("census JSON lacks a components field: %s", doc)
+	}
+	for _, p := range []string{out + atomicio.PartialSuffix, census + atomicio.PartialSuffix} {
+		if _, serr := os.Stat(p); !os.IsNotExist(serr) {
+			t.Errorf("partial sibling %s survived success", p)
+		}
+	}
+}
+
+// TestStreamCheckpointAndResumeEndToEnd drives the full CLI path: a
+// checkpointed run, then a -resume run against the same artifacts, whose
+// label PGM and census JSON must be byte-identical.
+func TestStreamCheckpointAndResumeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := writeCheckerPGM(t, dir, 64)
+	ckpt := filepath.Join(dir, "run.ckpt")
+	base := streamConfig{
+		inFile: in, bandRows: 8, conn: 8, top: 3, checkpoint: ckpt, checkpointEvery: 2}
+
+	first := base
+	first.outFile = filepath.Join(dir, "labels1.pgm")
+	first.censusJSON = filepath.Join(dir, "census1.json")
+	if err := runStream(first); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	second := base
+	second.resume = true
+	second.outFile = filepath.Join(dir, "labels2.pgm")
+	second.censusJSON = filepath.Join(dir, "census2.json")
+	if err := runStream(second); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	for _, pair := range [][2]string{
+		{first.outFile, second.outFile},
+		{first.censusJSON, second.censusJSON},
+	} {
+		a, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s and %s differ", pair[0], pair[1])
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package atomicio writes files crash-atomically: content goes to a
+// temporary sibling first and appears at the target path only through a
+// final rename, after an fsync has pushed the bytes to stable storage. A
+// reader (or a process resuming after a crash) therefore sees either the
+// previous complete file or the new complete file — never a torn prefix —
+// which is the property the streaming pipeline's checkpoint records and
+// the imgcc -out / -census-json artifacts rely on: a run killed at any
+// instant leaves no partial file at the target path.
+//
+// The temporary sibling has the deterministic name path+".partial", so an
+// orphan left behind by a kill -9 is silently overwritten by the next
+// attempt instead of accumulating. Two concurrent writers to the same
+// target already race on the target itself; the shared temp name adds no
+// new hazard.
+package atomicio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// PartialSuffix is appended to the target path to form the temporary
+// sibling's name while a write is in flight.
+const PartialSuffix = ".partial"
+
+// File is an os.File-backed writer whose contents appear at the target
+// path only on Commit. Until then the bytes live in the ".partial"
+// sibling; Abort (or a process crash) leaves the target untouched.
+type File struct {
+	target string
+	tmp    string
+	f      *os.File
+	done   bool
+}
+
+// Create opens the temporary sibling of path for writing, truncating any
+// orphan a previous crashed attempt left behind.
+func Create(path string) (*File, error) {
+	tmp := path + PartialSuffix
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	return &File{target: path, tmp: tmp, f: f}, nil
+}
+
+// Write appends to the in-flight temporary file.
+func (a *File) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Commit makes the written content durable and visible at the target path:
+// fsync, close, rename, and a best-effort fsync of the containing
+// directory so the rename itself survives a crash. After Commit the File
+// is spent; Abort becomes a no-op.
+func (a *File) Commit() error {
+	if a.done {
+		return nil
+	}
+	a.done = true
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(a.tmp)
+		return err
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.tmp)
+		return err
+	}
+	if err := os.Rename(a.tmp, a.target); err != nil {
+		os.Remove(a.tmp)
+		return err
+	}
+	syncDir(filepath.Dir(a.target))
+	return nil
+}
+
+// Abort discards the in-flight write, removing the temporary sibling and
+// leaving the target path exactly as it was. Safe to call repeatedly and
+// after Commit (where it is a no-op), so callers can defer it.
+func (a *File) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.f.Close()
+	os.Remove(a.tmp)
+}
+
+// WriteFile writes the output of write to path atomically: the callback
+// streams into the temporary sibling, and the target is renamed into
+// place only if the callback and every durability step succeed. On any
+// failure the target is left exactly as it was.
+func WriteFile(path string, write func(io.Writer) error) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives a
+// crash. Best-effort: some platforms and filesystems reject directory
+// syncs, and the rename is already atomic for concurrent readers.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,134 @@
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCommitPublishesContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("target visible before Commit: %v", err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("content %q, want %q", got, "hello world")
+	}
+	if _, err := os.Stat(path + PartialSuffix); !os.IsNotExist(err) {
+		t.Fatalf("partial sibling survived Commit: %v", err)
+	}
+	// Abort after Commit must not delete the published file.
+	f.Abort()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("Abort after Commit removed the target: %v", err)
+	}
+}
+
+func TestAbortLeavesNoTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("partial data")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	f.Abort() // idempotent
+	for _, p := range []string{path, path + PartialSuffix} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s survived Abort: %v", p, err)
+		}
+	}
+}
+
+func TestAbortPreservesPreviousFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("replacement that never lands"))
+	f.Abort()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "previous" {
+		t.Fatalf("aborted write clobbered the previous file: %q", got)
+	}
+}
+
+func TestWriteFileSuccessAndFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.json")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "v1")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if err := WriteFile(path, func(w io.Writer) error {
+		fmt.Fprint(w, "v2 torn prefix")
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("WriteFile error = %v, want boom", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1" {
+		t.Fatalf("failed WriteFile replaced the previous file: %q", got)
+	}
+	if _, err := os.Stat(path + PartialSuffix); !os.IsNotExist(err) {
+		t.Fatalf("partial sibling survived a failed WriteFile: %v", err)
+	}
+}
+
+func TestOrphanPartialIsOverwritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	// A crashed writer left a large orphan behind.
+	if err := os.WriteFile(path+PartialSuffix, []byte("orphaned torn write from a kill -9"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "fresh")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "fresh" {
+		t.Fatalf("content %q, want fresh", got)
+	}
+}
+
+func TestCreateInMissingDirFails(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "no/such/dir/out")); err == nil {
+		t.Fatal("Create in a missing directory did not fail")
+	}
+}

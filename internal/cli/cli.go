@@ -111,7 +111,15 @@ const (
 	// BandRowsUsage is the help text of the -band-rows flag.
 	BandRowsUsage = "rows per band window for -stream (<= 0 derives from a 4Mi-pixel budget)"
 	// OutUsage is the help text of the -out flag.
-	OutUsage = "write the dense-renumbered label PGM to this file (-stream only)"
+	OutUsage = "write the dense-renumbered label PGM to this file (-stream only; written atomically, no partial file on failure)"
+	// CheckpointUsage is the help text of the -checkpoint flag.
+	CheckpointUsage = "durable checkpoint file for -stream: rewritten crash-atomically every -checkpoint-every bands so -resume can continue a killed run"
+	// CheckpointEveryUsage is the help text of the -checkpoint-every flag.
+	CheckpointEveryUsage = "bands between -checkpoint records (<= 0 selects the default cadence)"
+	// ResumeUsage is the help text of the -resume flag.
+	ResumeUsage = "resume -stream from the -checkpoint record; output is byte-identical to an uninterrupted run"
+	// CensusJSONUsage is the help text of the -census-json flag.
+	CensusJSONUsage = "write the -stream census as deterministic JSON to this file (written atomically)"
 
 	// AddrUsage is the help text of imgccd's -addr flag.
 	AddrUsage = "listen address for the HTTP server"
@@ -212,6 +220,29 @@ func BandRowsFlag(fs *flag.FlagSet) *int {
 // OutFlag registers the canonical -out flag (default "", none).
 func OutFlag(fs *flag.FlagSet) *string {
 	return fs.String("out", "", OutUsage)
+}
+
+// CheckpointFlag registers the canonical -checkpoint flag (default "",
+// disabled).
+func CheckpointFlag(fs *flag.FlagSet) *string {
+	return fs.String("checkpoint", "", CheckpointUsage)
+}
+
+// CheckpointEveryFlag registers the canonical -checkpoint-every flag
+// (default 0, meaning the stream package's default cadence).
+func CheckpointEveryFlag(fs *flag.FlagSet) *int {
+	return fs.Int("checkpoint-every", 0, CheckpointEveryUsage)
+}
+
+// ResumeFlag registers the canonical -resume flag (default false).
+func ResumeFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("resume", false, ResumeUsage)
+}
+
+// CensusJSONFlag registers the canonical -census-json flag (default "",
+// disabled).
+func CensusJSONFlag(fs *flag.FlagSet) *string {
+	return fs.String("census-json", "", CensusJSONUsage)
 }
 
 // AddrFlag registers the canonical -addr flag (default ":8080").

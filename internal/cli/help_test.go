@@ -94,7 +94,8 @@ func TestSharedFlagHelpIsIdentical(t *testing.T) {
 		}
 	}
 	// The out-of-core streaming family is imgcc-only.
-	for _, f := range []string{"stream", "band-rows", "out"} {
+	for _, f := range []string{"stream", "band-rows", "out",
+		"checkpoint", "checkpoint-every", "resume", "census-json"} {
 		if _, ok := perCmd["imgcc"][f]; !ok {
 			t.Errorf("imgcc does not register the -%s flag", f)
 		}

@@ -54,6 +54,17 @@ var (
 	// row-major seed labels would wrap the uint32 label space and collide
 	// (or reach the reserved background value 0).
 	ErrLabelOverflow = errors.New("label space overflow")
+	// ErrCheckpointCorrupt marks a streaming checkpoint file that failed
+	// structural validation: wrong magic or version, truncation, or a
+	// checksum mismatch (a bit flip anywhere in the record). The file
+	// cannot be trusted for resume; rerun from scratch.
+	ErrCheckpointCorrupt = errors.New("checkpoint corrupt")
+	// ErrCheckpointMismatch marks a structurally valid streaming checkpoint
+	// that was recorded for a different run: the input's header bytes or
+	// geometry drifted, or the resume options (connectivity, mode, band
+	// height) disagree with the ones the checkpoint was written under.
+	// Resuming it would silently produce wrong pixels, so it is refused.
+	ErrCheckpointMismatch = errors.New("checkpoint mismatch")
 )
 
 // Runtime sentinels. Unlike the input taxonomy above these describe how an
@@ -157,6 +168,20 @@ func LabelOverflow(op string, n int) error {
 // taxonomy kind (an unknown flag value, a malformed file, a bad option).
 func Bad(op, format string, args ...any) error {
 	return &InputError{Op: op, Kind: ErrBadInput, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CheckpointCorrupt returns an ErrCheckpointCorrupt input error for a
+// checkpoint file that failed structural validation (truncation, checksum,
+// magic/version).
+func CheckpointCorrupt(op, format string, args ...any) error {
+	return &InputError{Op: op, Kind: ErrCheckpointCorrupt, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CheckpointMismatch returns an ErrCheckpointMismatch input error for a
+// valid checkpoint recorded under a different input or different resume
+// options.
+func CheckpointMismatch(op, format string, args ...any) error {
+	return &InputError{Op: op, Kind: ErrCheckpointMismatch, Detail: fmt.Sprintf(format, args...)}
 }
 
 // RunError is a structured runtime failure: the operation that was running,

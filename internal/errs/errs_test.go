@@ -16,6 +16,8 @@ func TestTaxonomyUnwrap(t *testing.T) {
 		{GreyRange("op", 16, "grey 99"), ErrGreyRange},
 		{LabelOverflow("op", 70000), ErrLabelOverflow},
 		{Bad("op", "unknown mode"), ErrBadInput},
+		{CheckpointCorrupt("op", "bad checksum"), ErrCheckpointCorrupt},
+		{CheckpointMismatch("op", "different geometry"), ErrCheckpointMismatch},
 	}
 	for _, c := range cases {
 		if !errors.Is(c.err, c.kind) {
@@ -35,6 +37,12 @@ func TestTaxonomyUnwrap(t *testing.T) {
 	}
 	if errors.Is(Bad("op", "x"), ErrGeometry) {
 		t.Error("plain bad-input error matched ErrGeometry")
+	}
+	if errors.Is(CheckpointCorrupt("op", "x"), ErrCheckpointMismatch) {
+		t.Error("corrupt-checkpoint error matched ErrCheckpointMismatch")
+	}
+	if errors.Is(CheckpointMismatch("op", "x"), ErrCheckpointCorrupt) {
+		t.Error("mismatched-checkpoint error matched ErrCheckpointCorrupt")
 	}
 }
 

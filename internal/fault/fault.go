@@ -37,6 +37,14 @@ const (
 	// context deadline to tear the run down; the runtime degrades it to a
 	// panic when neither can ever fire.
 	NoShow
+	// Crash makes the checkpoint abandon the run immediately with an
+	// injected-crash error, simulating process death at that exact point:
+	// no later phase runs, no pending durable state is flushed, and any
+	// in-memory progress is lost exactly as a kill -9 would lose it. Only
+	// sites that document crash support honor it — today the streaming
+	// pipeline's band-commit checkpoint, where it drives the
+	// checkpoint/resume chaos tests.
+	Crash
 )
 
 // String names the class for diagnostics.
@@ -50,6 +58,8 @@ func (c Class) String() string {
 		return "delay"
 	case NoShow:
 		return "no-show"
+	case Crash:
+		return "crash"
 	default:
 		return fmt.Sprintf("fault.Class(%d)", int(c))
 	}

@@ -111,6 +111,7 @@ func TestInjectedErrorNamesSite(t *testing.T) {
 func TestClassString(t *testing.T) {
 	for c, want := range map[Class]string{
 		None: "none", Panic: "panic", Delay: "delay", NoShow: "no-show",
+		Crash: "crash",
 	} {
 		if got := c.String(); got != want {
 			t.Errorf("Class(%d).String() = %q, want %q", int(c), got, want)

@@ -87,6 +87,13 @@ const (
 	// CtrBands counts band windows the out-of-core streaming pipeline
 	// decoded and labeled (each pass over the image counts its own bands).
 	CtrBands
+	// CtrCheckpoints counts durable checkpoint records the streaming
+	// pipeline committed (temp-file + fsync + rename each).
+	CtrCheckpoints
+	// CtrResumeBand is the resumed-from-band gauge: the band index the
+	// streaming census pass restarted at after restoring a checkpoint
+	// (recorded once per resumed run; absent for fresh runs).
+	CtrResumeBand
 
 	numCounters
 )
@@ -114,6 +121,10 @@ func (c Counter) String() string {
 		return "relabeled_pixels"
 	case CtrBands:
 		return "bands"
+	case CtrCheckpoints:
+		return "checkpoints"
+	case CtrResumeBand:
+		return "resume_band"
 	}
 	return fmt.Sprintf("counter(%d)", int(c))
 }

@@ -177,8 +177,8 @@ func TestSnapshotIsIndependentCopy(t *testing.T) {
 func TestCounterNamesAreStable(t *testing.T) {
 	names := CounterNames()
 	want := []string{"bands", "border_edges", "border_links", "border_pairs",
-		"grey_runs", "relabeled_pixels", "runs", "strip_components",
-		"sv_rounds", "uf_finds"}
+		"checkpoints", "grey_runs", "relabeled_pixels", "resume_band", "runs",
+		"strip_components", "sv_rounds", "uf_finds"}
 	if len(names) != len(want) {
 		t.Fatalf("counter names = %v", names)
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"parimg/internal/errs"
+	"parimg/internal/fault"
 	"parimg/internal/image"
 	"parimg/internal/obs"
 	"parimg/internal/seq"
@@ -23,6 +24,13 @@ const op = "stream.Label"
 // and large enough that the per-band overhead (one ReadAt, one boundary
 // merge) is noise.
 const DefaultMaxBandPixels = 4 << 20
+
+// DefaultCheckpointEvery is the checkpoint cadence when Options.Checkpoint
+// is set but CheckpointEvery is zero: a record is written after every this
+// many committed bands (and always after the final band). Sixteen bands
+// amortizes the fsync+rename to noise while bounding the redone work after
+// a crash to at most sixteen bands of census.
+const DefaultCheckpointEvery = 16
 
 // Options configures an out-of-core labeling run. The zero value labels
 // 8-connected binary components with the default band budget, no census,
@@ -50,8 +58,33 @@ type Options struct {
 	// barrier watchdog, guarding against a reader that hangs.
 	StallTimeout time.Duration
 	// Obs, when non-nil, receives per-band phase timings (band_decode,
-	// band_label, band_merge, band_write) and the merge counters.
+	// band_label, band_merge, band_write, checkpoint_write, resume_replay)
+	// and the merge counters.
 	Obs *obs.Recorder
+	// Checkpoint, when non-empty, is the path of the durable checkpoint
+	// record: after every CheckpointEvery committed census bands (and after
+	// the final one) the pipeline crash-atomically rewrites this file with
+	// everything needed to continue the run (DESIGN.md §15). A crash at any
+	// instant leaves either the previous complete record or the new one.
+	Checkpoint string
+	// CheckpointEvery is the checkpoint cadence in committed bands (0 means
+	// DefaultCheckpointEvery; negative is rejected).
+	CheckpointEvery int
+	// Resume restarts a run from the record at Checkpoint (which must be
+	// set): the census pass seeks to the checkpointed band, replays the
+	// seam against the stored boundary rows, and continues. The result —
+	// census, metrics schema, and label output — is byte-identical to an
+	// uninterrupted run. A structurally broken record fails with
+	// ErrCheckpointCorrupt; a record whose input or options fingerprint
+	// drifted fails with ErrCheckpointMismatch. Never silently wrong output.
+	Resume bool
+	// Fault, when non-nil, is consulted at the streaming pipeline's
+	// band_commit site (rank 0, round = band index + 1, after the band's
+	// census state commits and before any checkpoint write): Delay sleeps
+	// there, Crash abandons the run with ErrAborted wrapping
+	// *fault.Injected — the hook the crash chaos tests and the kill-window
+	// pacing in imgcc use.
+	Fault *fault.Injector
 }
 
 // Component is one census entry: a component's global minimum seed label
@@ -69,11 +102,17 @@ type Result struct {
 	Components int64
 	// Foreground is the number of foreground pixels.
 	Foreground int64
-	// Bands is the number of band windows per pass.
+	// Bands is the number of band windows in the decomposition
+	// (ceil(Height/BandRows)) — a property of the run's geometry, so a
+	// resumed run reports the same value as an uninterrupted one even
+	// though it decoded fewer bands.
 	Bands int
 	// BandRows is the band height actually used (the last band may be
 	// shorter).
 	BandRows int
+	// ResumedFrom is the band index the census pass continued at when the
+	// run was resumed from a checkpoint, 0 for a fresh run.
+	ResumedFrom int
 	// Links is the number of cross-band unions performed.
 	Links int64
 	// Top holds the TopK largest components, largest first (ties broken
@@ -107,6 +146,11 @@ type Result struct {
 // are exactly the global row-major seeds, and unite-by-minimum makes
 // every root the component's global minimum seed, so the row-major
 // first-seen order of roots — hence every dense id — matches.
+//
+// With Options.Checkpoint set, pass 1 additionally writes a durable
+// checkpoint record on its cadence; with Options.Resume, pass 1 restarts
+// from that record instead of band 0 and the run's outputs are
+// byte-identical to an uninterrupted run (see Options and DESIGN.md §15).
 func Label(r io.ReaderAt, out io.Writer, opt Options) (*Result, error) {
 	conn := opt.Conn
 	if conn == 0 {
@@ -133,6 +177,17 @@ func Label(r io.ReaderAt, out io.Writer, opt Options) (*Result, error) {
 			hdr.Width, hdr.Height, hdr.SampleBytes(), hdr.Pixels()*int64(hdr.SampleBytes()), err)
 	}
 
+	ckptEvery := opt.CheckpointEvery
+	if ckptEvery < 0 {
+		return nil, errs.Bad(op, "checkpoint cadence %d is negative", ckptEvery)
+	}
+	if ckptEvery == 0 {
+		ckptEvery = DefaultCheckpointEvery
+	}
+	if opt.Resume && opt.Checkpoint == "" {
+		return nil, errs.Bad(op, "resume requested without a checkpoint path")
+	}
+
 	wd := newWatchdog(opt.Context, opt.StallTimeout)
 	if err := wd.start(); err != nil {
 		return nil, err
@@ -140,22 +195,48 @@ func Label(r io.ReaderAt, out io.Writer, opt Options) (*Result, error) {
 	defer wd.join()
 
 	p := &pipeline{
-		hdr:      hdr,
-		r:        r,
-		conn:     conn,
-		mode:     opt.Mode,
-		bandRows: bandRows,
-		rec:      opt.Obs,
-		wd:       wd,
-		uf:       NewUnionFind64(),
-		sizes:    make(map[uint64]int64),
+		hdr:       hdr,
+		r:         r,
+		conn:      conn,
+		mode:      opt.Mode,
+		bandRows:  bandRows,
+		rec:       opt.Obs,
+		wd:        wd,
+		uf:        NewUnionFind64(),
+		sizes:     make(map[uint64]int64),
+		ckptPath:  opt.Checkpoint,
+		ckptEvery: ckptEvery,
+		fault:     opt.Fault,
 	}
 	p.bl.SetStop(&wd.stop)
+
+	if p.ckptPath != "" {
+		// The raw header bytes are the checkpoint's input fingerprint,
+		// captured once whether this run writes records or validates one.
+		if p.hdrBytes, err = readHeaderBytes(r, hdr); err != nil {
+			return nil, err
+		}
+	}
+	if opt.Resume {
+		t := p.rec.StartPhase()
+		c, err := loadCheckpoint(p.ckptPath)
+		if err == nil {
+			err = c.matches(hdr, p.hdrBytes, conn, p.mode, bandRows)
+		}
+		if err != nil {
+			p.rec.EndPhase("resume_replay", "", t)
+			return nil, err
+		}
+		p.startBand = p.restore(c)
+		p.rec.EndPhase("resume_replay", "", t)
+		p.rec.Add(obs.CtrResumeBand, int64(p.startBand))
+	}
 
 	res, err := p.census(opt.TopK)
 	if err != nil {
 		return nil, err
 	}
+	res.ResumedFrom = p.startBand
 	if out != nil {
 		if err := p.writeLabels(out, res.Components); err != nil {
 			return nil, err
@@ -216,25 +297,33 @@ type pipeline struct {
 	prevLab []uint64 // previous band's bottom label row, lifted
 	botLab  []uint64 // current band's top label row, lifted (scratch)
 
+	ckptPath  string // checkpoint record path ("" = no checkpointing)
+	ckptEvery int    // checkpoint cadence in committed bands
+	hdrBytes  []byte // raw input bytes [0, DataOffset): the fingerprint
+	startBand int    // census pass starts here (0 fresh, >0 resumed)
+	fault     *fault.Injector
+
 	stripComps int64
 	links      int64
 	pairs      int64
 	edges      int64
 }
 
-// forEachBand streams the image top to bottom, decoding and band-labeling
-// each window and then handing it to fn with its absolute start row and
-// the band's component count. It owns the band_decode and band_label
-// phases and the cooperative stop polling between phases; fn runs
-// whatever per-band work the pass needs.
-func (p *pipeline) forEachBand(fn func(r0, rows, comps int) error) error {
+// forEachBand streams the image top to bottom starting at band index
+// from, decoding and band-labeling each window and then handing it to fn
+// with its absolute start row and the band's component count. It owns the
+// band_decode and band_label phases and the cooperative stop polling
+// between phases; fn runs whatever per-band work the pass needs. A
+// resumed census pass starts past the checkpointed bands; the write pass
+// always starts at 0.
+func (p *pipeline) forEachBand(from int, fn func(r0, rows, comps int) error) error {
 	W := p.hdr.Width
 	want := p.bandRows * W
 	if cap(p.pix) < want {
 		p.pix = make([]uint32, want)
 		p.lab = make([]uint32, want)
 	}
-	for r0 := 0; r0 < p.hdr.Height; r0 += p.bandRows {
+	for r0 := from * p.bandRows; r0 < p.hdr.Height; r0 += p.bandRows {
 		if err := p.wd.interrupted(); err != nil {
 			return err
 		}
@@ -270,16 +359,20 @@ func (p *pipeline) forEachBand(fn func(r0, rows, comps int) error) error {
 	return nil
 }
 
-// census is pass 1: stream every band, merge adjacent bands, and
-// accumulate fragment sizes, producing the component count, foreground
-// count and top-K census. Counters: strip components and run counts per
-// band, boundary pairs/edges/links per merge.
+// census is pass 1: stream every band from the start band (0 fresh,
+// checkpointed band when resuming), merge adjacent bands, and accumulate
+// fragment sizes, producing the component count, foreground count and
+// top-K census. Counters: strip components and run counts per band,
+// boundary pairs/edges/links per merge, checkpoint records written.
+//
+// On resume the normal merge path IS the seam replay: the restored
+// prevPix/prevLab rows are exactly what the uninterrupted run would hold
+// entering this band, band labeling is deterministic, and
+// unite-by-minimum is idempotent, so the forest and size map evolve
+// identically from here on.
 func (p *pipeline) census(topK int) (*Result, error) {
 	W := p.hdr.Width
-	p.stripComps = 0
-	bands := 0
-	err := p.forEachBand(func(r0, rows, comps int) error {
-		bands++
+	err := p.forEachBand(p.startBand, func(r0, rows, comps int) error {
 		p.stripComps += int64(comps)
 		p.rec.Add(obs.CtrStripComponents, int64(comps))
 		base := uint64(r0) * uint64(W)
@@ -336,7 +429,10 @@ func (p *pipeline) census(topK int) (*Result, error) {
 		p.prevPix = p.prevPix[:W]
 		copy(p.prevPix, p.pix[(rows-1)*W:rows*W])
 		p.prevLab = cur.LiftRow(rows-1, p.prevLab)
-		return nil
+
+		// The band's census state is now fully committed: fault site, then
+		// the checkpoint cadence.
+		return p.bandCommitted(r0/p.bandRows, r0+rows == p.hdr.Height)
 	})
 	if err != nil {
 		return nil, err
@@ -357,7 +453,7 @@ func (p *pipeline) census(topK int) (*Result, error) {
 		Height:     p.hdr.Height,
 		Components: p.stripComps - p.links,
 		Foreground: fg,
-		Bands:      bands,
+		Bands:      (p.hdr.Height + p.bandRows - 1) / p.bandRows,
 		BandRows:   p.bandRows,
 		Links:      p.links,
 	}
@@ -412,7 +508,7 @@ func (p *pipeline) writeLabels(out io.Writer, components int64) error {
 	remap := make(map[uint64]uint32, components)
 	var next uint32
 	var rowBuf []byte
-	err := p.forEachBand(func(r0, rows, _ int) error {
+	err := p.forEachBand(0, func(r0, rows, _ int) error {
 		t := p.rec.StartPhase()
 		defer p.rec.EndPhase("band_write", "", t)
 		base := uint64(r0) * uint64(W)
@@ -457,6 +553,40 @@ func (p *pipeline) writeLabels(out io.Writer, components int64) error {
 	if err := bw.Flush(); err != nil {
 		return errs.Bad(op, "flushing label PGM: %v", err)
 	}
+	return nil
+}
+
+// bandCommitted runs after band (0-based index) has fully committed its
+// census state — merge done, fragment sizes folded in, boundary rows
+// saved. It first polls the band_commit fault site (rank 0, round =
+// band+1): Delay sleeps in place, Crash abandons the run exactly as a
+// process death here would, and Panic raises the injected payload. Then,
+// when checkpointing is on, it rewrites the checkpoint record on the
+// cadence — and always after the last band, so a crash during the write
+// pass resumes without redoing any census work.
+func (p *pipeline) bandCommitted(band int, last bool) error {
+	site := fault.Site{Name: "band_commit", Rank: 0, Round: band + 1}
+	switch act := p.fault.Decide(site); act.Class {
+	case fault.None:
+	case fault.Delay:
+		time.Sleep(act.Delay)
+	case fault.Panic:
+		panic(&fault.Injected{Site: site})
+	default: // Crash (and NoShow, degraded): abandon the run right here.
+		return errs.Aborted(op, &fault.Injected{Site: site},
+			"injected crash after band %d committed", band)
+	}
+	if p.ckptPath == "" || ((band+1)%p.ckptEvery != 0 && !last) {
+		return nil
+	}
+	t := p.rec.StartPhase()
+	err := p.saveCheckpoint(band + 1)
+	p.rec.EndPhase("checkpoint_write", "", t)
+	if err != nil {
+		return err
+	}
+	p.rec.Add(obs.CtrCheckpoints, 1)
+	p.wd.progressed()
 	return nil
 }
 

@@ -60,6 +60,14 @@ var (
 	// are the global row-major pixel index + 1 in uint32, so any larger
 	// image would wrap the 32-bit label space and collide components.
 	ErrLabelOverflow = errs.ErrLabelOverflow
+	// ErrCheckpointCorrupt marks a streaming-resume checkpoint file that
+	// fails structural validation: wrong magic or version, truncation, or a
+	// checksum mismatch. The record is never partially trusted.
+	ErrCheckpointCorrupt = errs.ErrCheckpointCorrupt
+	// ErrCheckpointMismatch marks a structurally valid checkpoint written
+	// by a different run: the input's header bytes, its geometry, or the
+	// labeling options have drifted, so resuming would compute wrong labels.
+	ErrCheckpointMismatch = errs.ErrCheckpointMismatch
 )
 
 // InputError is the concrete error type behind the sentinels: it records

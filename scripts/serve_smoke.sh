@@ -9,7 +9,10 @@
 #   4. exercise the backpressure path's headers are sane (a plain request
 #      must NOT carry Retry-After),
 #   5. scrape /metrics and validate every document through the schema
-#      checker (cmd/metricscheck).
+#      checker (cmd/metricscheck),
+#   6. send SIGTERM while a slow-upload /label request is in flight: the
+#      request must still complete 200 with the correct census (graceful
+#      drain), and the process must exit 0 within its drain window.
 #
 # Needs: go, curl. Exits non-zero on the first failure.
 set -euo pipefail
@@ -68,5 +71,30 @@ fi
 echo "serve-smoke: validating /metrics through the schema checker"
 curl -sf "http://$ADDR/metrics" >"$WORKDIR/metrics.json"
 go run ./cmd/metricscheck "$WORKDIR/metrics.json"
+
+echo "serve-smoke: SIGTERM graceful drain with an in-flight request"
+# Trickle the upload so the request is still in flight when SIGTERM lands
+# (~256KB at 64KB/s spends ~4s inside the server's 10s drain window).
+curl -sf --limit-rate 64K --data-binary @darpa_before.pgm \
+    "http://$ADDR/label?mode=grey&census=1" >"$WORKDIR/drain.json" &
+CURL_PID=$!
+sleep 0.5 # let the request reach the server before the signal
+kill -TERM "$SERVER_PID"
+wait "$CURL_PID" || {
+    echo "serve-smoke: in-flight request failed during graceful drain" >&2
+    exit 1
+}
+diff -u testdata/serve_darpa_census.json "$WORKDIR/drain.json" || {
+    echo "serve-smoke: drained request returned a wrong census" >&2
+    exit 1
+}
+DRAIN_STATUS=0
+wait "$SERVER_PID" || DRAIN_STATUS=$?
+SERVER_PID=""
+if [ "$DRAIN_STATUS" -ne 0 ]; then
+    echo "serve-smoke: imgccd exited $DRAIN_STATUS after SIGTERM (want 0):" >&2
+    cat "$WORKDIR/imgccd.log" >&2
+    exit 1
+fi
 
 echo "serve-smoke: PASS"
